@@ -1,0 +1,233 @@
+// Package mpixccl's root benchmark suite regenerates every table and
+// figure of the paper's evaluation (one benchmark per exhibit) plus the
+// ablation studies called out in DESIGN.md. Wall-clock time measures the
+// simulator; the scientifically meaningful numbers are the virtual-time
+// metrics attached with b.ReportMetric:
+//
+//	virt-us/op   virtual microseconds per operation (latency exhibits)
+//	img/s        simulated training throughput (application exhibits)
+//	MB/s         simulated wire bandwidth (point-to-point exhibits)
+//
+// Run: go test -bench=. -benchmem
+package mpixccl
+
+import (
+	"testing"
+
+	"mpixccl/internal/core"
+	"mpixccl/internal/dl"
+	"mpixccl/internal/experiments"
+	"mpixccl/internal/omb"
+	"mpixccl/internal/topology"
+)
+
+// BenchmarkTable1 regenerates the hardware summary (Table 1).
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if rows := topology.Table1(); len(rows) != 3 {
+			b.Fatal("table1 incomplete")
+		}
+	}
+}
+
+func virtUS(b *testing.B, lat float64) { b.ReportMetric(lat, "virt-us/op") }
+
+// lastLatencyUS runs one collective config and reports the largest-size
+// latency in virtual µs.
+func lastLatencyUS(b *testing.B, cfg omb.Config, op omb.Collective) float64 {
+	b.Helper()
+	res, err := omb.RunCollective(cfg, op)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return float64(res[len(res)-1].Latency.Nanoseconds()) / 1e3
+}
+
+// BenchmarkFig1aAllreduceCrossover measures MPI vs pure NCCL Allreduce on
+// 4 nodes / 32 GPUs (Fig 1a): MPI must win at 1 KB, NCCL at 1 MB.
+func BenchmarkFig1aAllreduceCrossover(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		small := omb.Config{System: "thetagpu", Nodes: 4, MinBytes: 1 << 10, MaxBytes: 1 << 10, Iterations: 1}
+		large := small
+		large.MinBytes, large.MaxBytes = 1<<20, 1<<20
+		small.Stack, large.Stack = omb.StackMPI, omb.StackMPI
+		mpiSmall := lastLatencyUS(b, small, omb.Allreduce)
+		mpiLarge := lastLatencyUS(b, large, omb.Allreduce)
+		small.Stack, large.Stack = omb.StackPureCCL, omb.StackPureCCL
+		ncclSmall := lastLatencyUS(b, small, omb.Allreduce)
+		ncclLarge := lastLatencyUS(b, large, omb.Allreduce)
+		if mpiSmall >= ncclSmall || ncclLarge >= mpiLarge {
+			b.Fatalf("crossover shape broken: mpi %0.f/%0.f nccl %0.f/%0.f µs",
+				mpiSmall, mpiLarge, ncclSmall, ncclLarge)
+		}
+		virtUS(b, ncclLarge)
+	}
+}
+
+// BenchmarkFig1bAllgatherCrossover is Fig 1b on the AMD system.
+func BenchmarkFig1bAllgatherCrossover(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := omb.Config{System: "mri", Nodes: 4, MinBytes: 1 << 10, MaxBytes: 1 << 10,
+			Iterations: 1, Stack: omb.StackMPI}
+		mpiSmall := lastLatencyUS(b, cfg, omb.Allgather)
+		cfg.Stack = omb.StackPureCCL
+		rcclSmall := lastLatencyUS(b, cfg, omb.Allgather)
+		if mpiSmall >= rcclSmall {
+			b.Fatalf("MPI (%.0fµs) should beat RCCL (%.0fµs) at 1KB", mpiSmall, rcclSmall)
+		}
+		virtUS(b, rcclSmall)
+	}
+}
+
+// BenchmarkFig3IntraNodeP2P measures the NCCL intra-node sweep (Fig 3) and
+// reports peak bandwidth.
+func BenchmarkFig3IntraNodeP2P(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := omb.RunPt2Pt(omb.Config{System: "thetagpu", Nodes: 1,
+			MinBytes: 4 << 20, MaxBytes: 4 << 20, Iterations: 1}, omb.BandwidthBench)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res[0].BandwidthMBs, "MB/s")
+	}
+}
+
+// BenchmarkFig4InterNodeP2P measures the NCCL inter-node 4 MB latency (Fig 4).
+func BenchmarkFig4InterNodeP2P(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := omb.RunPt2Pt(omb.Config{System: "thetagpu", Nodes: 2,
+			MinBytes: 4 << 20, MaxBytes: 4 << 20, Iterations: 1}, omb.LatencyBench)
+		if err != nil {
+			b.Fatal(err)
+		}
+		virtUS(b, float64(res[0].Latency.Nanoseconds())/1e3)
+	}
+}
+
+// BenchmarkFig5SingleNodeCollectives runs the single-node hybrid grid entry
+// (NCCL allreduce, 8 GPUs) at 4 MB.
+func BenchmarkFig5SingleNodeCollectives(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		virtUS(b, lastLatencyUS(b, omb.Config{System: "thetagpu", Nodes: 1,
+			MinBytes: 4 << 20, MaxBytes: 4 << 20, Iterations: 1, Stack: omb.StackHybrid}, omb.Allreduce))
+	}
+}
+
+// BenchmarkFig6MultiNodeCollectives runs the multi-node grid entry (NCCL
+// allreduce, 2 nodes quick-scale) at 4 MB.
+func BenchmarkFig6MultiNodeCollectives(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		virtUS(b, lastLatencyUS(b, omb.Config{System: "thetagpu", Nodes: 2,
+			MinBytes: 4 << 20, MaxBytes: 4 << 20, Iterations: 1, Stack: omb.StackHybrid}, omb.Allreduce))
+	}
+}
+
+func dlBench(b *testing.B, cfg dl.Config) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		rep, err := dl.Train(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rep.ImgPerSec, "img/s")
+	}
+}
+
+// BenchmarkFig7HorovodNvidia is the 1-node NVIDIA training exhibit.
+func BenchmarkFig7HorovodNvidia(b *testing.B) {
+	dlBench(b, dl.Config{System: "thetagpu", Nodes: 1, BatchSize: 32, Steps: 1, Engine: dl.EngineXCCL})
+}
+
+// BenchmarkFig8HorovodAMD is the 4-node AMD training exhibit.
+func BenchmarkFig8HorovodAMD(b *testing.B) {
+	dlBench(b, dl.Config{System: "mri", Nodes: 4, BatchSize: 64, Steps: 1,
+		Engine: dl.EngineXCCL, Backend: core.RCCL})
+}
+
+// BenchmarkFig9HorovodHabana is the 1-node Habana training exhibit.
+func BenchmarkFig9HorovodHabana(b *testing.B) {
+	dlBench(b, dl.Config{System: "voyager", Nodes: 1, BatchSize: 128, Steps: 1,
+		Engine: dl.EngineXCCL, Backend: core.HCCL})
+}
+
+// BenchmarkFig10HorovodMSCCL is the 2-node MSCCL training exhibit.
+func BenchmarkFig10HorovodMSCCL(b *testing.B) {
+	dlBench(b, dl.Config{System: "thetagpu", Nodes: 2, BatchSize: 128, Steps: 1,
+		Engine: dl.EngineXCCL, Backend: core.MSCCL})
+}
+
+// Ablations (DESIGN.md §5).
+
+// BenchmarkAblationHybridVsPure quantifies the hybrid design's small-message
+// win over pure CCL dispatch (design decision 3).
+func BenchmarkAblationHybridVsPure(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := omb.Config{System: "thetagpu", Nodes: 1, MinBytes: 1 << 10, MaxBytes: 1 << 10,
+			Iterations: 1, Stack: omb.StackHybrid}
+		hyb := lastLatencyUS(b, cfg, omb.Allreduce)
+		cfg.Stack = omb.StackPureXCCL
+		pure := lastLatencyUS(b, cfg, omb.Allreduce)
+		if hyb >= pure {
+			b.Fatalf("hybrid (%.1fµs) lost to pure CCL (%.1fµs) at 1KB", hyb, pure)
+		}
+		b.ReportMetric(pure/hyb, "speedup")
+	}
+}
+
+// BenchmarkAblationChannels quantifies the multi-channel mechanism behind
+// CCL bandwidth (design decision 2): NCCL's 12 channels vs the MPI path's 2.
+func BenchmarkAblationChannels(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := omb.Config{System: "thetagpu", Nodes: 1, MinBytes: 4 << 20, MaxBytes: 4 << 20,
+			Iterations: 1, Stack: omb.StackPureCCL}
+		ccl := lastLatencyUS(b, cfg, omb.Allreduce)
+		cfg.Stack = omb.StackMPI
+		mpi := lastLatencyUS(b, cfg, omb.Allreduce)
+		if ccl >= mpi {
+			b.Fatalf("12-channel NCCL (%.0fµs) lost to 2-channel MPI (%.0fµs) at 4MB", ccl, mpi)
+		}
+		b.ReportMetric(mpi/ccl, "speedup")
+	}
+}
+
+// BenchmarkAblationMSCCLCustom quantifies the custom allpairs schedule
+// against the embedded NCCL 2.12 (design decision on programmability).
+func BenchmarkAblationMSCCLCustom(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := omb.Config{System: "thetagpu", Nodes: 1, MinBytes: 32 << 10, MaxBytes: 32 << 10,
+			Iterations: 1, Stack: omb.StackPureCCL, Backend: core.MSCCL}
+		custom := lastLatencyUS(b, cfg, omb.Allreduce)
+		cfg.Backend = core.LegacyNCCL
+		legacy := lastLatencyUS(b, cfg, omb.Allreduce)
+		b.ReportMetric(legacy/custom, "speedup")
+	}
+}
+
+// BenchmarkAblationTunedTable compares the shipped default table against a
+// freshly tuned one (design decision 3: offline tuning).
+func BenchmarkAblationTunedTable(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		table, err := omb.Tune(omb.Config{System: "thetagpu", Nodes: 1,
+			MinBytes: 1 << 10, MaxBytes: 1 << 20, Iterations: 1}, []omb.Collective{omb.Allreduce})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := omb.Config{System: "thetagpu", Nodes: 1, MinBytes: 4 << 10, MaxBytes: 4 << 10,
+			Iterations: 1, Stack: omb.StackHybrid, Table: table}
+		tuned := lastLatencyUS(b, cfg, omb.Allreduce)
+		cfg.Table = nil
+		builtin := lastLatencyUS(b, cfg, omb.Allreduce)
+		b.ReportMetric(builtin/tuned, "tuned-vs-builtin")
+	}
+}
+
+// BenchmarkExperimentTable1 exercises the experiments harness end to end on
+// its cheapest exhibit, keeping the figure pipeline itself under benchmark.
+func BenchmarkExperimentTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := experiments.Run("table1", experiments.Quick)
+		if err != nil || len(out) == 0 {
+			b.Fatalf("table1: %v", err)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+// Command ombrun runs individual OSU-Micro-Benchmark-style measurements
+// against any simulated stack, printing OMB-format tables.
+//
+// Usage:
+//
+//	ombrun -bench allreduce -system thetagpu -nodes 4 -stack hybrid-xccl
+//	ombrun -bench latency -system voyager            # pt2pt over HCCL
+//	ombrun -bench bw -system thetagpu -nodes 2       # inter-node NCCL bw
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mpixccl/internal/core"
+	"mpixccl/internal/omb"
+)
+
+func main() {
+	bench := flag.String("bench", "allreduce",
+		"latency|bw|bibw (pt2pt) or allreduce|reduce|bcast|alltoall|allgather (collective)")
+	system := flag.String("system", "thetagpu", "thetagpu|mri|voyager")
+	nodes := flag.Int("nodes", 1, "node count")
+	ranks := flag.Int("ranks", 0, "total ranks (0 = one per device)")
+	stack := flag.String("stack", string(omb.StackHybrid),
+		"hybrid-xccl|pure-xccl|mpi|openmpi-ucx|openmpi-ucx-ucc|pure-ccl")
+	backend := flag.String("backend", "auto", "auto|nccl|rccl|hccl|msccl")
+	min := flag.Int64("min", 4, "min message bytes")
+	max := flag.Int64("max", 4<<20, "max message bytes")
+	iters := flag.Int("iters", 2, "timed iterations per size")
+	full := flag.Bool("f", false, "full results: min/avg/max across ranks (collectives)")
+	flag.Parse()
+
+	cfg := omb.Config{
+		System: *system, Nodes: *nodes, Ranks: *ranks,
+		Stack: omb.Stack(*stack), Backend: core.BackendKind(*backend),
+		MinBytes: *min, MaxBytes: *max, Iterations: *iters,
+	}
+	switch *bench {
+	case "latency", "bw", "bibw":
+		res, err := omb.RunPt2Pt(cfg, omb.Pt2PtKind(*bench))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("# OMB pt2pt %s, %s, %d node(s), backend %s\n", *bench, *system, *nodes, *backend)
+		fmt.Printf("%-12s %-14s %-14s\n", "Size", "Latency(us)", "BW(MB/s)")
+		for _, r := range res {
+			fmt.Printf("%-12d %-14.2f %-14.2f\n", r.Bytes, us(r), r.BandwidthMBs)
+		}
+	case "allreduce", "reduce", "bcast", "alltoall", "allgather":
+		res, err := omb.RunCollective(cfg, omb.Collective(*bench))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("# OMB %s, %s, %d node(s), stack %s, backend %s\n",
+			*bench, *system, *nodes, *stack, *backend)
+		if *full {
+			fmt.Printf("%-12s %-14s %-14s %-14s\n", "Size", "Avg(us)", "Min(us)", "Max(us)")
+			for _, r := range res {
+				fmt.Printf("%-12d %-14.2f %-14.2f %-14.2f\n", r.Bytes, us(r),
+					float64(r.MinLatency.Nanoseconds())/1e3, float64(r.MaxLatency.Nanoseconds())/1e3)
+			}
+			return
+		}
+		fmt.Printf("%-12s %-14s\n", "Size", "Avg Latency(us)")
+		for _, r := range res {
+			fmt.Printf("%-12d %-14.2f\n", r.Bytes, us(r))
+		}
+	default:
+		fatal(fmt.Errorf("unknown bench %q", *bench))
+	}
+}
+
+func us(r omb.Result) float64 { return float64(r.Latency.Nanoseconds()) / 1e3 }
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "ombrun: %v\n", err)
+	os.Exit(1)
+}

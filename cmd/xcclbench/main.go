@@ -1,0 +1,58 @@
+// Command xcclbench regenerates the paper's tables and figures from the
+// simulated substrate.
+//
+// Usage:
+//
+//	xcclbench -exp fig5            # one experiment, quick scale
+//	xcclbench -exp all -scale full # the paper's full configurations
+//	xcclbench -list                # enumerate experiment ids
+//
+// Experiment ids follow the paper: table1, fig1a, fig1b, fig3, fig4, fig5,
+// fig6, fig7, fig8, fig9, fig10.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mpixccl/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (or 'all')")
+	scaleFlag := flag.String("scale", "quick", "quick or full (paper-size node counts and sweeps)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	scale := experiments.Quick
+	switch *scaleFlag {
+	case "quick":
+	case "full":
+		scale = experiments.Full
+	default:
+		fmt.Fprintf(os.Stderr, "xcclbench: unknown scale %q (want quick or full)\n", *scaleFlag)
+		os.Exit(2)
+	}
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		out, err := experiments.Run(id, scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xcclbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Print(out)
+		fmt.Printf("(%s regenerated in %v wall time)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,54 @@
+// Command xccltuner performs the offline tuning of §3.4: it measures the
+// MPI and CCL paths for every collective across the message-size sweep on a
+// given system shape and emits the tuning table (JSON) the hybrid runtime
+// loads at startup.
+//
+// Usage:
+//
+//	xccltuner -system thetagpu -nodes 1 > thetagpu-nccl.json
+//	xccltuner -system mri -nodes 8 -backend rccl -o mri-rccl.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mpixccl/internal/core"
+	"mpixccl/internal/omb"
+)
+
+func main() {
+	system := flag.String("system", "thetagpu", "thetagpu|mri|voyager")
+	nodes := flag.Int("nodes", 1, "node count")
+	ranks := flag.Int("ranks", 0, "total ranks (0 = one per device)")
+	backend := flag.String("backend", "auto", "auto|nccl|rccl|hccl|msccl")
+	min := flag.Int64("min", 64, "min message bytes")
+	max := flag.Int64("max", 4<<20, "max message bytes")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	table, err := omb.Tune(omb.Config{
+		System: *system, Nodes: *nodes, Ranks: *ranks,
+		Backend:  core.BackendKind(*backend),
+		MinBytes: *min, MaxBytes: *max, Iterations: 2,
+	}, nil)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xccltuner: %v\n", err)
+		os.Exit(1)
+	}
+	data, err := table.JSON()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xccltuner: %v\n", err)
+		os.Exit(1)
+	}
+	if *out == "" {
+		fmt.Println(string(data))
+		return
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "xccltuner: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "xccltuner: wrote %s\n", *out)
+}

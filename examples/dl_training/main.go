@@ -1,0 +1,44 @@
+// DL training: reproduce the paper's application-level evaluation shape on
+// one simulated system — ResNet-50 data-parallel training through Horovod-
+// style gradient fusion, comparing the proposed xCCL engine against the
+// vendor CCL and the Open MPI baselines (Fig 7).
+//
+//	go run ./examples/dl_training              # NVIDIA (ThetaGPU)
+//	go run ./examples/dl_training -system mri  # AMD
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"mpixccl/internal/dl"
+)
+
+func main() {
+	system := flag.String("system", "thetagpu", "thetagpu|mri|voyager")
+	nodes := flag.Int("nodes", 1, "node count")
+	flag.Parse()
+
+	model := dl.ResNet50()
+	fmt.Printf("model=%s params=%.1fM grads=%.1f MB tensors=%d\n\n",
+		model.Name, float64(model.Params())/1e6, float64(model.GradBytes())/1e6, len(model.Tensors))
+
+	engines := []dl.Engine{dl.EngineXCCL, dl.EnginePureCCL, dl.EngineOpenMPI, dl.EngineUCC}
+	if *system != "thetagpu" {
+		engines = engines[:2] // the paper compares only CCL vs xCCL off-NVIDIA
+	}
+	fmt.Printf("%-18s %8s %12s %12s %8s\n", "engine", "batch", "img/sec", "step", "buckets")
+	for _, eng := range engines {
+		for _, bs := range []int{32, 64, 128} {
+			rep, err := dl.Train(dl.Config{
+				System: *system, Nodes: *nodes, BatchSize: bs, Steps: 2,
+				Engine: eng, Model: model,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-18s %8d %12.0f %12v %8d\n", eng, bs, rep.ImgPerSec, rep.StepTime, rep.Buckets)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module mpixccl
+
+go 1.22

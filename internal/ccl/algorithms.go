@@ -1,0 +1,399 @@
+package ccl
+
+import (
+	"fmt"
+
+	"mpixccl/internal/device"
+	"mpixccl/internal/elem"
+	"mpixccl/internal/sim"
+)
+
+func (d Datatype) kind() elem.Kind {
+	switch d {
+	case Int8:
+		return elem.U8
+	case Int32:
+		return elem.I32
+	case Int64:
+		return elem.I64
+	case Float16:
+		return elem.F16
+	case Float32:
+		return elem.F32
+	case Float64:
+		return elem.F64
+	}
+	panic(fmt.Sprintf("ccl: kind for %v", d))
+}
+
+func (o RedOp) elemOp() elem.Op {
+	switch o {
+	case Sum:
+		return elem.OpSum
+	case Prod:
+		return elem.OpProd
+	case Max:
+		return elem.OpMax
+	case Min:
+		return elem.OpMin
+	}
+	panic(fmt.Sprintf("ccl: elem op for %v", o))
+}
+
+// reduceBytes is the elementwise kernel used by runCtx.reduceInto.
+func reduceBytes(op RedOp, dt Datatype, dst, src []byte, count int) {
+	elem.Reduce(op.elemOp(), dt.kind(), dst, src, count)
+}
+
+// enqueueColl registers the rank's args under the next sequence number and
+// enqueues the rank's part of the algorithm on the stream.
+func (c *Comm) enqueueColl(s *device.Stream, name string, a *opArgs, bytes int64,
+	run func(rc *runCtx, a *opArgs)) *sim.Event {
+	seq := c.seq
+	c.seq++
+	st := c.core.join(seq, c.rank, a)
+	rank := c.rank
+	co := c.core
+	return s.Enqueue(fmt.Sprintf("%s/%s/r%d", co.cfg.Name, name, rank), func(p *sim.Proc) {
+		rc := &runCtx{co: co, st: st, rank: rank, p: p}
+		rc.launch(bytes)
+		st.start.Wait(p)
+		run(rc, st.args[rank])
+		co.finish(st)
+	})
+}
+
+// AllReduce combines send into recv across all ranks with op. Large
+// payloads run the multi-channel ring (reduce-scatter + allgather); small
+// payloads run a latency-oriented binomial tree (reduce + broadcast),
+// mirroring NCCL's ring/tree split.
+func (c *Comm) AllReduce(send, recv *device.Buffer, count int, dt Datatype, op RedOp, s *device.Stream) error {
+	if err := c.validate(send, recv, count, dt, &op, 0); err != nil {
+		return err
+	}
+	bytes := int64(count) * int64(dt.Size())
+	a := &opArgs{send: send, recv: recv, count: count}
+	tree := bytes <= c.core.cfg.TreeThreshold || count < c.core.n
+	custom := c.core.findAlgo("allreduce", bytes)
+	if custom != nil && count < custom.NChunks {
+		custom = nil // too few elements to partition
+	}
+	c.enqueueColl(s, "allreduce", a, bytes, func(rc *runCtx, a *opArgs) {
+		if rc.co.n == 1 {
+			rc.localCopy(a.recv, a.send, bytes)
+			return
+		}
+		if custom != nil {
+			rc.localCopy(a.recv, a.send, bytes)
+			rc.runCustom(custom, dt, op, count)
+			return
+		}
+		if tree {
+			rc.treeAllReduce(dt, op, count)
+			return
+		}
+		rc.ringAllReduce(dt, op, count)
+	})
+	return nil
+}
+
+// Broadcast copies root's send buffer into every rank's recv buffer.
+func (c *Comm) Broadcast(send, recv *device.Buffer, count int, dt Datatype, root int, s *device.Stream) error {
+	if err := c.validate(send, recv, count, dt, nil, root); err != nil {
+		return err
+	}
+	bytes := int64(count) * int64(dt.Size())
+	a := &opArgs{send: send, recv: recv, count: count, root: root}
+	c.enqueueColl(s, "broadcast", a, bytes, func(rc *runCtx, a *opArgs) {
+		rc.treeBroadcast(dt, count, root)
+	})
+	return nil
+}
+
+// Reduce combines send across ranks with op into root's recv buffer.
+func (c *Comm) Reduce(send, recv *device.Buffer, count int, dt Datatype, op RedOp, root int, s *device.Stream) error {
+	if err := c.validate(send, recv, count, dt, &op, root); err != nil {
+		return err
+	}
+	bytes := int64(count) * int64(dt.Size())
+	a := &opArgs{send: send, recv: recv, count: count, root: root}
+	c.enqueueColl(s, "reduce", a, bytes, func(rc *runCtx, a *opArgs) {
+		rc.treeReduce(dt, op, count, root)
+	})
+	return nil
+}
+
+// AllGather concatenates each rank's count-element send buffer into every
+// rank's recv buffer (size count×n), in rank order.
+func (c *Comm) AllGather(send, recv *device.Buffer, count int, dt Datatype, s *device.Stream) error {
+	if err := c.validate(send, nil, count, dt, nil, 0); err != nil {
+		return err
+	}
+	bytes := int64(count) * int64(dt.Size())
+	if recv.Len() < bytes*int64(c.core.n) {
+		return &Error{Backend: c.core.cfg.Name, Result: ErrInvalidArgument, Msg: "allgather recv buffer too small"}
+	}
+	a := &opArgs{send: send, recv: recv, count: count}
+	c.enqueueColl(s, "allgather", a, bytes, func(rc *runCtx, a *opArgs) {
+		rc.ringAllGather(dt, count)
+	})
+	return nil
+}
+
+// ReduceScatter reduces count×n elements with op and leaves rank r's
+// count-element block in its recv buffer.
+func (c *Comm) ReduceScatter(send, recv *device.Buffer, recvCount int, dt Datatype, op RedOp, s *device.Stream) error {
+	if err := c.validate(nil, recv, recvCount, dt, &op, 0); err != nil {
+		return err
+	}
+	bytes := int64(recvCount) * int64(dt.Size())
+	if send.Len() < bytes*int64(c.core.n) {
+		return &Error{Backend: c.core.cfg.Name, Result: ErrInvalidArgument, Msg: "reducescatter send buffer too small"}
+	}
+	a := &opArgs{send: send, recv: recv, count: recvCount}
+	c.enqueueColl(s, "reducescatter", a, bytes, func(rc *runCtx, a *opArgs) {
+		rc.ringReduceScatter(dt, op, recvCount)
+	})
+	return nil
+}
+
+func (rc *runCtx) localCopy(dst, src *device.Buffer, n int64) {
+	if dst != src {
+		copy(dst.Bytes()[:n], src.Bytes()[:n])
+		rc.p.Sleep(rc.dev().CopyTime(n))
+	}
+}
+
+// segBounds splits count elements into n segments (element start offsets).
+func segBounds(count, n int) []int {
+	b := make([]int, n+1)
+	base, rem := count/n, count%n
+	off := 0
+	for i := 0; i < n; i++ {
+		b[i] = off
+		off += base
+		if i < rem {
+			off++
+		}
+	}
+	b[n] = count
+	return b
+}
+
+// ringAllReduce: ring reduce-scatter then ring allgather over the rank's
+// recv buffer, with credit-managed scratch for the incoming segments.
+func (rc *runCtx) ringAllReduce(dt Datatype, op RedOp, count int) {
+	a := rc.st.args[rc.rank]
+	n := rc.co.n
+	esz := int64(dt.Size())
+	rc.localCopy(a.recv, a.send, int64(count)*esz)
+	bounds := segBounds(count, n)
+	maxSeg := int64(bounds[1]-bounds[0]) * esz
+	if maxSeg == 0 {
+		maxSeg = esz
+	}
+	right := (rc.rank + 1) % n
+	left := (rc.rank - 1 + n) % n
+	// Reduce-scatter: after n-1 steps rank r owns segment r fully reduced.
+	for step := 0; step < n-1; step++ {
+		sendSeg := (rc.rank - step - 1 + 2*n) % n
+		recvSeg := (rc.rank - step - 2 + 2*n) % n
+		so, sl := int64(bounds[sendSeg])*esz, int64(bounds[sendSeg+1]-bounds[sendSeg])*esz
+		ro, rl := int64(bounds[recvSeg])*esz, int64(bounds[recvSeg+1]-bounds[recvSeg])*esz
+		sent := rc.putAsync(right, a.recv.Slice(so, sl), sl, maxSeg)
+		slot, buf := rc.get(left, maxSeg)
+		if rl > 0 {
+			rc.reduceInto(op, dt, rc.st.args[rc.rank].recv.Slice(ro, rl), buf.Slice(0, rl), int(rl/esz))
+		}
+		rc.release(left, slot, maxSeg)
+		sent.Wait(rc.p)
+	}
+	// Allgather: forward segments through the same credit-managed pipes
+	// (the receiver unpacks the slot into place), so a fast sender can
+	// never overwrite state a slow neighbor has not consumed yet.
+	for step := 0; step < n-1; step++ {
+		sendSeg := (rc.rank - step + n) % n
+		recvSeg := (rc.rank - step - 1 + 2*n) % n
+		so, sl := int64(bounds[sendSeg])*esz, int64(bounds[sendSeg+1]-bounds[sendSeg])*esz
+		ro, rl := int64(bounds[recvSeg])*esz, int64(bounds[recvSeg+1]-bounds[recvSeg])*esz
+		sent := rc.putAsync(right, a.recv.Slice(so, sl), sl, maxSeg)
+		slot, buf := rc.get(left, maxSeg)
+		if rl > 0 {
+			copy(a.recv.Bytes()[ro:ro+rl], buf.Bytes()[:rl])
+			rc.p.Sleep(rc.dev().CopyTime(rl))
+		}
+		rc.release(left, slot, maxSeg)
+		sent.Wait(rc.p)
+	}
+}
+
+// treeAllReduce: binomial reduce to rank 0 followed by binomial broadcast —
+// the latency-oriented path for small payloads.
+func (rc *runCtx) treeAllReduce(dt Datatype, op RedOp, count int) {
+	a := rc.st.args[rc.rank]
+	esz := int64(dt.Size())
+	rc.localCopy(a.recv, a.send, int64(count)*esz)
+	rc.treeReduceInPlace(dt, op, count, 0)
+	rc.treeBroadcastBuf(dt, count, 0, func(r int) *device.Buffer { return rc.st.args[r].recv })
+}
+
+// treeReduceInPlace runs a binomial reduction over each rank's recv buffer
+// toward root.
+func (rc *runCtx) treeReduceInPlace(dt Datatype, op RedOp, count int, root int) {
+	n := rc.co.n
+	esz := int64(dt.Size())
+	bytes := int64(count) * esz
+	if bytes == 0 {
+		bytes = esz
+	}
+	rel := (rc.rank - root + n) % n
+	for mask := 1; mask < n; mask <<= 1 {
+		if rel&mask != 0 {
+			parent := ((rel - mask) + root) % n
+			rc.put(parent, rc.st.args[rc.rank].recv, int64(count)*esz, bytes)
+			return
+		}
+		childRel := rel + mask
+		if childRel < n {
+			child := (childRel + root) % n
+			slot, buf := rc.get(child, bytes)
+			if count > 0 {
+				rc.reduceInto(op, dt, rc.st.args[rc.rank].recv.Slice(0, int64(count)*esz), buf.Slice(0, int64(count)*esz), count)
+			}
+			rc.release(child, slot, bytes)
+		}
+	}
+}
+
+// treeBroadcast copies root's send buffer down a binomial tree into each
+// rank's recv buffer.
+func (rc *runCtx) treeBroadcast(dt Datatype, count int, root int) {
+	a := rc.st.args[rc.rank]
+	esz := int64(dt.Size())
+	if rc.rank == root {
+		rc.localCopy(a.recv, a.send, int64(count)*esz)
+	}
+	rc.treeBroadcastBuf(dt, count, root, func(r int) *device.Buffer { return rc.st.args[r].recv })
+}
+
+// treeBroadcastBuf runs the binomial broadcast over buf(r) for each rank r,
+// assuming buf(root) already holds the payload.
+func (rc *runCtx) treeBroadcastBuf(dt Datatype, count int, root int, buf func(r int) *device.Buffer) {
+	n := rc.co.n
+	esz := int64(dt.Size())
+	bytes := int64(count) * esz
+	rel := (rc.rank - root + n) % n
+	mask := 1
+	for mask < n {
+		if rel&mask != 0 {
+			parent := ((rel - mask) + root + n) % n
+			rc.waitDirect(parent)
+			break
+		}
+		mask <<= 1
+	}
+	mask >>= 1
+	for mask > 0 {
+		if rel+mask < n {
+			child := (rel + mask + root) % n
+			rc.putDirect(child, buf(child).Slice(0, bytes), buf(rc.rank).Slice(0, bytes), bytes)
+		}
+		mask >>= 1
+	}
+}
+
+// treeReduce is the standalone Reduce: binomial reduction into scratch so
+// non-root send buffers are preserved, landing in root's recv.
+func (rc *runCtx) treeReduce(dt Datatype, op RedOp, count int, root int) {
+	a := rc.st.args[rc.rank]
+	esz := int64(dt.Size())
+	bytes := int64(count) * esz
+	acc := rc.dev().MustMalloc(bytes)
+	defer acc.Free()
+	rc.localCopy(acc, a.send, bytes)
+	n := rc.co.n
+	slotBytes := bytes
+	if slotBytes == 0 {
+		slotBytes = esz
+	}
+	rel := (rc.rank - root + n) % n
+	for mask := 1; mask < n; mask <<= 1 {
+		if rel&mask != 0 {
+			parent := ((rel - mask) + root) % n
+			rc.put(parent, acc, bytes, slotBytes)
+			return
+		}
+		childRel := rel + mask
+		if childRel < n {
+			child := (childRel + root) % n
+			slot, buf := rc.get(child, slotBytes)
+			if count > 0 {
+				rc.reduceInto(op, dt, acc.Slice(0, bytes), buf.Slice(0, bytes), count)
+			}
+			rc.release(child, slot, slotBytes)
+		}
+	}
+	if rc.rank == root {
+		rc.localCopy(a.recv, acc, bytes)
+	}
+}
+
+// ringAllGather: rank r's block lands at offset r·count; direct writes
+// forward blocks around the ring.
+func (rc *runCtx) ringAllGather(dt Datatype, count int) {
+	a := rc.st.args[rc.rank]
+	n := rc.co.n
+	esz := int64(dt.Size())
+	bytes := int64(count) * esz
+	copy(a.recv.Bytes()[int64(rc.rank)*bytes:(int64(rc.rank)+1)*bytes], a.send.Bytes()[:bytes])
+	rc.p.Sleep(rc.dev().CopyTime(bytes))
+	if n == 1 {
+		return
+	}
+	right := (rc.rank + 1) % n
+	left := (rc.rank - 1 + n) % n
+	slotBytes := bytes
+	if slotBytes == 0 {
+		slotBytes = esz
+	}
+	for step := 0; step < n-1; step++ {
+		sendSeg := (rc.rank - step + n) % n
+		recvSeg := (rc.rank - step - 1 + 2*n) % n
+		sent := rc.putAsync(right, a.recv.Slice(int64(sendSeg)*bytes, bytes), bytes, slotBytes)
+		slot, buf := rc.get(left, slotBytes)
+		copy(a.recv.Bytes()[int64(recvSeg)*bytes:(int64(recvSeg)+1)*bytes], buf.Bytes()[:bytes])
+		rc.p.Sleep(rc.dev().CopyTime(bytes))
+		rc.release(left, slot, slotBytes)
+		sent.Wait(rc.p)
+	}
+}
+
+// ringReduceScatter: the reduce-scatter phase alone; rank r's reduced block
+// is copied into its recv buffer.
+func (rc *runCtx) ringReduceScatter(dt Datatype, op RedOp, recvCount int) {
+	a := rc.st.args[rc.rank]
+	n := rc.co.n
+	esz := int64(dt.Size())
+	blk := int64(recvCount) * esz
+	work := rc.dev().MustMalloc(blk * int64(n))
+	defer work.Free()
+	rc.localCopy(work, a.send, blk*int64(n))
+	if n > 1 {
+		right := (rc.rank + 1) % n
+		left := (rc.rank - 1 + n) % n
+		slotBytes := blk
+		if slotBytes == 0 {
+			slotBytes = esz
+		}
+		for step := 0; step < n-1; step++ {
+			sendSeg := (rc.rank - step - 1 + 2*n) % n
+			recvSeg := (rc.rank - step - 2 + 2*n) % n
+			sent := rc.putAsync(right, work.Slice(int64(sendSeg)*blk, blk), blk, slotBytes)
+			slot, buf := rc.get(left, slotBytes)
+			rc.reduceInto(op, dt, work.Slice(int64(recvSeg)*blk, blk), buf.Slice(0, blk), recvCount)
+			rc.release(left, slot, slotBytes)
+			sent.Wait(rc.p)
+		}
+	}
+	rc.localCopy(a.recv, work.Slice(int64(rc.rank)*blk, blk), blk)
+}

@@ -1,0 +1,236 @@
+// Package ccl implements the common machinery of vendor collective
+// communication libraries ("xCCLs"): NCCL-style communicators, the five
+// built-in collectives (AllReduce, Broadcast, Reduce, AllGather,
+// ReduceScatter), point-to-point Send/Recv with Group semantics, and the
+// stream-ordered execution model. Vendor packages (ccl/nccl, ccl/rccl,
+// ccl/hccl, ccl/msccl) instantiate this machinery with their own
+// capability matrices, launch overheads, and channel budgets.
+//
+// Collectives execute on device streams: a call enqueues the rank's part
+// of the algorithm and returns; peers' stream tasks rendezvous inside the
+// simulation, move real bytes over the fabric, and complete in virtual
+// time. This mirrors how the paper's abstraction layer has to manage CCL
+// asynchrony (stream handling, §1.2 advantage 2).
+package ccl
+
+import (
+	"fmt"
+	"time"
+
+	"mpixccl/internal/device"
+)
+
+// Datatype is the CCL element type (ncclDataType_t analogue).
+type Datatype int
+
+const (
+	// Int8 is ncclInt8.
+	Int8 Datatype = iota
+	// Int32 is ncclInt32.
+	Int32
+	// Int64 is ncclInt64.
+	Int64
+	// Float16 is ncclFloat16.
+	Float16
+	// Float32 is ncclFloat32.
+	Float32
+	// Float64 is ncclFloat64.
+	Float64
+)
+
+var cclTypeInfo = map[Datatype]struct {
+	name string
+	size int
+}{
+	Int8:    {"xcclInt8", 1},
+	Int32:   {"xcclInt32", 4},
+	Int64:   {"xcclInt64", 8},
+	Float16: {"xcclFloat16", 2},
+	Float32: {"xcclFloat32", 4},
+	Float64: {"xcclFloat64", 8},
+}
+
+// Size returns the element size in bytes.
+func (d Datatype) Size() int {
+	info, ok := cclTypeInfo[d]
+	if !ok {
+		panic(fmt.Sprintf("ccl: unknown datatype %d", int(d)))
+	}
+	return info.size
+}
+
+// String returns the xccl constant name.
+func (d Datatype) String() string {
+	if info, ok := cclTypeInfo[d]; ok {
+		return info.name
+	}
+	return fmt.Sprintf("Datatype(%d)", int(d))
+}
+
+// Datatypes lists all CCL datatypes.
+func Datatypes() []Datatype {
+	return []Datatype{Int8, Int32, Int64, Float16, Float32, Float64}
+}
+
+// RedOp is the CCL reduction operator (ncclRedOp_t analogue).
+type RedOp int
+
+const (
+	// Sum is ncclSum.
+	Sum RedOp = iota
+	// Prod is ncclProd.
+	Prod
+	// Max is ncclMax.
+	Max
+	// Min is ncclMin.
+	Min
+)
+
+// String returns the xccl constant name.
+func (o RedOp) String() string {
+	switch o {
+	case Sum:
+		return "xcclSum"
+	case Prod:
+		return "xcclProd"
+	case Max:
+		return "xcclMax"
+	case Min:
+		return "xcclMin"
+	}
+	return fmt.Sprintf("RedOp(%d)", int(o))
+}
+
+// RedOps lists all CCL reduction operators.
+func RedOps() []RedOp { return []RedOp{Sum, Prod, Max, Min} }
+
+// Result is the CCL status code (ncclResult_t analogue).
+type Result int
+
+const (
+	// Success is ncclSuccess.
+	Success Result = iota
+	// ErrUnsupportedDatatype reports a datatype outside the backend's matrix.
+	ErrUnsupportedDatatype
+	// ErrUnsupportedOp reports a reduction the backend cannot perform.
+	ErrUnsupportedOp
+	// ErrUnsupportedDevice reports an accelerator the backend cannot drive.
+	ErrUnsupportedDevice
+	// ErrInvalidArgument reports a malformed call.
+	ErrInvalidArgument
+	// ErrInternal reports a library-internal failure (the class of error
+	// the paper hit with NCCL 2.18.3 on ThetaGPU, §4.4).
+	ErrInternal
+)
+
+// String names the result code.
+func (r Result) String() string {
+	switch r {
+	case Success:
+		return "xcclSuccess"
+	case ErrUnsupportedDatatype:
+		return "xcclUnsupportedDatatype"
+	case ErrUnsupportedOp:
+		return "xcclUnsupportedOp"
+	case ErrUnsupportedDevice:
+		return "xcclUnsupportedDevice"
+	case ErrInvalidArgument:
+		return "xcclInvalidArgument"
+	case ErrInternal:
+		return "xcclInternalError"
+	}
+	return fmt.Sprintf("Result(%d)", int(r))
+}
+
+// Error is a failed CCL call. The abstraction layer inspects Result to
+// decide whether to fall back to the MPI path.
+type Error struct {
+	Backend string
+	Result  Result
+	Msg     string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("%s: %s: %s", e.Backend, e.Result, e.Msg)
+}
+
+// SizeOverhead is an extra per-operation cost that kicks in once the
+// message size reaches Threshold bytes. HCCL's RoCE transport exhibits
+// such step curves (descriptor inlining limits) at 16 B and 64 B. When
+// DecayBytes is set, the extra fades as Extra·DecayBytes/size beyond
+// DecayBytes: large registered-buffer transfers amortize the per-descriptor
+// cost away.
+type SizeOverhead struct {
+	Threshold  int64
+	Extra      time.Duration
+	DecayBytes int64
+}
+
+// Config is a backend's personality: what it supports and what it costs.
+type Config struct {
+	// Name is the library name, e.g. "nccl".
+	Name string
+	// Kinds lists the device kinds the backend can drive.
+	Kinds []device.Kind
+	// Datatypes is the supported element-type set.
+	Datatypes map[Datatype]bool
+	// Ops is the supported reduction set (per datatype checks are uniform).
+	Ops map[RedOp]bool
+	// Launch is the fixed overhead charged when a collective or p2p
+	// operation starts executing on the stream (kernel launch + proxy).
+	Launch time.Duration
+	// Channels is the fabric channel budget per transfer — the mechanism
+	// behind CCL's large-message bandwidth advantage over MPI.
+	Channels int
+	// ChunkBytes is the pipeline chunk for transfers.
+	ChunkBytes int64
+	// TreeThreshold is the payload size below which latency-oriented tree
+	// algorithms replace bandwidth-oriented rings.
+	TreeThreshold int64
+	// StepCost is the per-hop proxy/FIFO progress cost charged on every
+	// pipelined put inside a collective algorithm. Algorithms with long
+	// sequential hop chains (trees, rings) pay it serially; shallow
+	// schedules (MSCCL allpairs) pay it once — the structural source of
+	// MSCCL's medium-message advantage.
+	StepCost time.Duration
+	// StepOverheads are size-triggered extra costs charged when one of
+	// the five built-in collectives launches (see SizeOverhead). They do
+	// not apply to point-to-point operations, matching the paper's
+	// observation that the HCCL step curves appear on Allreduce, Reduce,
+	// and Bcast.
+	StepOverheads []SizeOverhead
+	// InterNodePenalty scales wire time for inter-node steps of
+	// collective algorithms (protocol/proxy inefficiency), 1.0 = none.
+	InterNodePenalty float64
+	// InjectFailure, when not Success, makes every collective and
+	// point-to-point call fail with that result — modeling a broken
+	// library build (the paper's NCCL 2.18.3 + TensorFlow version
+	// conflict, which the xCCL layer bypasses by falling back to MPI).
+	InjectFailure Result
+}
+
+// SupportsKind reports whether the backend drives the device kind.
+func (cfg *Config) SupportsKind(k device.Kind) bool {
+	for _, s := range cfg.Kinds {
+		if s == k {
+			return true
+		}
+	}
+	return false
+}
+
+// stepExtra returns the size-triggered overhead for an n-byte operation.
+func (cfg *Config) stepExtra(n int64) time.Duration {
+	var extra time.Duration
+	for _, so := range cfg.StepOverheads {
+		if n < so.Threshold {
+			continue
+		}
+		e := so.Extra
+		if so.DecayBytes > 0 && n > so.DecayBytes {
+			e = time.Duration(float64(e) * float64(so.DecayBytes) / float64(n))
+		}
+		extra = e
+	}
+	return extra
+}

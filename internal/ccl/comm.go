@@ -1,0 +1,287 @@
+package ccl
+
+import (
+	"fmt"
+	"time"
+
+	"mpixccl/internal/device"
+	"mpixccl/internal/fabric"
+	"mpixccl/internal/sim"
+)
+
+// core is the state shared by all rank handles of one communicator.
+type core struct {
+	cfg  Config
+	fab  *fabric.Fabric
+	devs []*device.Device
+	n    int
+
+	ops     map[int]*opState
+	p2pPost map[[2]int]*sim.Chan[*p2pSlot] // receiver-posted buffers per (src,dst)
+	algos   []*Algo                        // registered custom schedules
+	split   *splitState                    // in-flight CommSplit rendezvous
+}
+
+// Comm is one rank's handle on a CCL communicator (ncclComm_t analogue).
+// All rank handles are created together by NewComms, matching
+// ncclCommInitAll / the MPI-bootstrapped ncclCommInitRank flow.
+type Comm struct {
+	core  *core
+	rank  int
+	seq   int       // this rank's collective sequence number
+	group *groupOps // non-nil between GroupStart and GroupEnd
+}
+
+type groupOps struct {
+	sends []p2pOp
+	recvs []p2pOp
+	// streams used by the grouped calls; GroupEnd enqueues on the first.
+	stream *device.Stream
+}
+
+type p2pOp struct {
+	peer  int
+	buf   *device.Buffer
+	bytes int64
+}
+
+type p2pSlot struct {
+	buf   *device.Buffer
+	bytes int64
+	done  *sim.Event
+}
+
+// NewComms builds a communicator over the given devices and returns the
+// per-rank handles. It validates that the backend can drive every device.
+func NewComms(fab *fabric.Fabric, devs []*device.Device, cfg Config) ([]*Comm, error) {
+	if len(devs) == 0 {
+		return nil, &Error{Backend: cfg.Name, Result: ErrInvalidArgument, Msg: "no devices"}
+	}
+	for _, d := range devs {
+		if !cfg.SupportsKind(d.Kind) {
+			return nil, &Error{Backend: cfg.Name, Result: ErrUnsupportedDevice,
+				Msg: fmt.Sprintf("cannot drive %s", d)}
+		}
+	}
+	co := &core{
+		cfg: cfg, fab: fab, devs: devs, n: len(devs),
+		ops:     make(map[int]*opState),
+		p2pPost: make(map[[2]int]*sim.Chan[*p2pSlot]),
+	}
+	comms := make([]*Comm, len(devs))
+	for r := range devs {
+		comms[r] = &Comm{core: co, rank: r}
+	}
+	return comms, nil
+}
+
+// Rank returns this handle's rank.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the communicator size.
+func (c *Comm) Size() int { return c.core.n }
+
+// Device returns the rank's device.
+func (c *Comm) Device() *device.Device { return c.core.devs[c.rank] }
+
+// Backend returns the backend configuration name (e.g. "nccl").
+func (c *Comm) Backend() string { return c.core.cfg.Name }
+
+// Config returns the backend personality.
+func (c *Comm) Config() Config { return c.core.cfg }
+
+func (c *Comm) kernel() *sim.Kernel { return c.core.fab.Kernel() }
+
+// opState coordinates one collective across all ranks.
+type opState struct {
+	seq   int
+	args  []*opArgs
+	start *sim.Barrier
+	done  int
+	pipes map[[2]int]*pipe
+}
+
+type opArgs struct {
+	send, recv *device.Buffer
+	count      int
+	root       int
+}
+
+// join registers rank args for collective #seq and returns the shared state.
+func (co *core) join(seq, rank int, a *opArgs) *opState {
+	st, ok := co.ops[seq]
+	if !ok {
+		st = &opState{
+			seq:   seq,
+			args:  make([]*opArgs, co.n),
+			start: sim.NewBarrier(co.fab.Kernel(), co.n),
+			pipes: make(map[[2]int]*pipe),
+		}
+		co.ops[seq] = st
+	}
+	st.args[rank] = a
+	return st
+}
+
+// finish releases op state once every rank's task completed.
+func (co *core) finish(st *opState) {
+	st.done++
+	if st.done == co.n {
+		for _, pp := range st.pipes {
+			for _, s := range pp.slots {
+				s.Free()
+			}
+		}
+		delete(co.ops, st.seq)
+	}
+}
+
+// pipe is a credit-managed scratch pipeline between a directed rank pair,
+// modeling NCCL's bounded FIFO buffers (NCCL_BUFFSIZE slots).
+type pipe struct {
+	data   *sim.Chan[int]
+	credit *sim.Chan[int]
+	slots  []*device.Buffer
+}
+
+const pipeSlots = 2
+
+// pipe returns (creating on first use) the pair pipe with slot capacity
+// slotBytes at the receiver's device.
+func (st *opState) pipe(co *core, from, to int, slotBytes int64) *pipe {
+	key := [2]int{from, to}
+	pp, ok := st.pipes[key]
+	if !ok {
+		k := co.fab.Kernel()
+		pp = &pipe{
+			data:   sim.NewChan[int](k, pipeSlots+1),
+			credit: sim.NewChan[int](k, pipeSlots+1),
+			slots:  make([]*device.Buffer, pipeSlots),
+		}
+		for i := range pp.slots {
+			pp.slots[i] = co.devs[to].MustMalloc(slotBytes)
+			pp.credit.TrySend(i)
+		}
+		st.pipes[key] = pp
+	}
+	return pp
+}
+
+// runCtx is the execution context of one rank's part of a collective.
+type runCtx struct {
+	co   *core
+	st   *opState
+	rank int
+	p    *sim.Proc
+}
+
+func (rc *runCtx) dev() *device.Device { return rc.co.devs[rc.rank] }
+
+func (rc *runCtx) opts() fabric.Opts {
+	return fabric.Opts{Channels: rc.co.cfg.Channels, ChunkBytes: rc.co.cfg.ChunkBytes}
+}
+
+// xfer moves bytes between devices applying the backend's inter-node
+// penalty on cross-node hops.
+func (rc *runCtx) xfer(dst, src *device.Buffer, n int64) {
+	d := rc.co.fab.Transfer(rc.p, dst, src, n, rc.opts())
+	pen := rc.co.cfg.InterNodePenalty
+	if pen > 1 && src.Device() != nil && dst.Device() != nil && src.Device().Node != dst.Device().Node {
+		rc.p.Sleep(time.Duration(float64(d) * (pen - 1)))
+	}
+}
+
+// putAsync runs put on a helper process so the caller can receive
+// concurrently — rings are full duplex, exactly like the hardware channels
+// they run on. Wait on the returned counter before reusing src.
+func (rc *runCtx) putAsync(to int, src *device.Buffer, n int64, slotBytes int64) *sim.Counter {
+	k := rc.p.Kernel()
+	done := sim.NewCounter(k, 1)
+	k.Spawn(fmt.Sprintf("%s/put/r%d-%d", rc.co.cfg.Name, rc.rank, to), func(p *sim.Proc) {
+		sub := &runCtx{co: rc.co, st: rc.st, rank: rc.rank, p: p}
+		sub.put(to, src, n, slotBytes)
+		done.Done()
+	})
+	return done
+}
+
+// put ships n bytes from src into a scratch slot at rank "to" and signals
+// it; blocks on flow-control credits.
+func (rc *runCtx) put(to int, src *device.Buffer, n int64, slotBytes int64) {
+	pp := rc.st.pipe(rc.co, rc.rank, to, slotBytes)
+	rc.p.Sleep(rc.co.cfg.StepCost)
+	slot := pp.credit.Recv(rc.p)
+	rc.xfer(pp.slots[slot].Slice(0, n), src, n)
+	pp.data.Send(rc.p, slot)
+}
+
+// get blocks until a scratch slot from rank "from" is ready and returns it;
+// the caller must release it with release.
+func (rc *runCtx) get(from int, slotBytes int64) (int, *device.Buffer) {
+	pp := rc.st.pipe(rc.co, from, rc.rank, slotBytes)
+	slot := pp.data.Recv(rc.p)
+	return slot, pp.slots[slot]
+}
+
+func (rc *runCtx) release(from, slot int, slotBytes int64) {
+	pp := rc.st.pipe(rc.co, from, rc.rank, slotBytes)
+	pp.credit.TrySend(slot)
+}
+
+// putDirect ships n bytes straight into dst (a region of the receiving
+// rank's user buffer that is written exactly once) and signals rank "to".
+func (rc *runCtx) putDirect(to int, dst, src *device.Buffer, n int64) {
+	pp := rc.st.pipe(rc.co, rc.rank, to, 1)
+	rc.p.Sleep(rc.co.cfg.StepCost)
+	rc.xfer(dst, src, n)
+	pp.data.Send(rc.p, 0)
+}
+
+// waitDirect consumes one direct-write signal from rank "from".
+func (rc *runCtx) waitDirect(from int) {
+	pp := rc.st.pipe(rc.co, from, rc.rank, 1)
+	pp.data.Recv(rc.p)
+}
+
+// reduceInto combines src into dst over count elements, charging device time.
+func (rc *runCtx) reduceInto(op RedOp, dt Datatype, dst, src *device.Buffer, count int) {
+	reduceBytes(op, dt, dst.Bytes(), src.Bytes(), count)
+	rc.p.Sleep(rc.dev().ReduceTime(int64(count) * int64(dt.Size())))
+}
+
+// validate checks a collective call against the backend capability matrix.
+func (c *Comm) validate(send, recv *device.Buffer, count int, dt Datatype, op *RedOp, root int) error {
+	cfg := &c.core.cfg
+	if cfg.InjectFailure != Success {
+		return &Error{Backend: cfg.Name, Result: cfg.InjectFailure, Msg: "injected library failure"}
+	}
+	if count < 0 {
+		return &Error{Backend: cfg.Name, Result: ErrInvalidArgument, Msg: "negative count"}
+	}
+	if !cfg.Datatypes[dt] {
+		return &Error{Backend: cfg.Name, Result: ErrUnsupportedDatatype,
+			Msg: fmt.Sprintf("datatype %v not supported", dt)}
+	}
+	if op != nil && !cfg.Ops[*op] {
+		return &Error{Backend: cfg.Name, Result: ErrUnsupportedOp,
+			Msg: fmt.Sprintf("reduction %v not supported", *op)}
+	}
+	if root < 0 || root >= c.core.n {
+		return &Error{Backend: cfg.Name, Result: ErrInvalidArgument,
+			Msg: fmt.Sprintf("root %d out of range", root)}
+	}
+	bytes := int64(count) * int64(dt.Size())
+	if send != nil && send.Len() < bytes {
+		return &Error{Backend: cfg.Name, Result: ErrInvalidArgument, Msg: "send buffer too small"}
+	}
+	if recv != nil && recv.Len() < bytes {
+		return &Error{Backend: cfg.Name, Result: ErrInvalidArgument, Msg: "recv buffer too small"}
+	}
+	return nil
+}
+
+// launch charges the backend's fixed operation overhead plus any
+// size-triggered step overhead.
+func (rc *runCtx) launch(bytes int64) {
+	rc.p.Sleep(rc.co.cfg.Launch + rc.co.cfg.stepExtra(bytes))
+}

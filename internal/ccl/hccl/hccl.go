@@ -1,0 +1,53 @@
+// Package hccl models the Habana Collective Communications Library:
+// Habana's NCCL-compatible API for Gaudi HPUs, built on the accelerator's
+// on-chip RoCE-v2 NICs (SynapseAI suite). Calibrated to the paper's
+// Voyager measurements: 270 µs launch overhead, ~3 GB/s intra-node
+// bandwidth, float-only datatype support (§3.2), and step-curve latency
+// degradations as payloads cross the RoCE descriptor inlining limits at
+// 16 B and 64 B (§4.3: 7×–12× on multi-node collectives).
+package hccl
+
+import (
+	"time"
+
+	"mpixccl/internal/ccl"
+	"mpixccl/internal/device"
+	"mpixccl/internal/fabric"
+)
+
+// Version is the HCCL (SynapseAI) release modeled.
+const Version = "1.11"
+
+// Config returns HCCL's personality.
+func Config() ccl.Config {
+	return ccl.Config{
+		Name:  "hccl-" + Version,
+		Kinds: []device.Kind{device.HabanaHPU},
+		// "HCCL only supports float currently" (§3.2).
+		Datatypes: map[ccl.Datatype]bool{ccl.Float32: true},
+		Ops: map[ccl.RedOp]bool{
+			ccl.Sum: true, ccl.Prod: true, ccl.Max: true, ccl.Min: true,
+		},
+		Launch:        270 * time.Microsecond,
+		StepCost:      4 * time.Microsecond,
+		Channels:      3,
+		ChunkBytes:    256 << 10,
+		TreeThreshold: 64 << 10,
+		// RoCE work-request descriptors inline payloads up to 16 B; up to
+		// 64 B they ride a single WQE with a doorbell; beyond that the
+		// transport sets up a registered-buffer RDMA — each boundary adds
+		// a visible latency step on every algorithm hop.
+		StepOverheads: []ccl.SizeOverhead{
+			{Threshold: 17, Extra: 700 * time.Microsecond, DecayBytes: 256},
+			{Threshold: 65, Extra: 2200 * time.Microsecond, DecayBytes: 256},
+		},
+		// Voyager's early HCCL builds lost substantial efficiency across
+		// the Arista fabric (Fig 9b: 4-node scaling efficiency ≈55%).
+		InterNodePenalty: 4.0,
+	}
+}
+
+// New creates HCCL communicators over the devices.
+func New(fab *fabric.Fabric, devs []*device.Device) ([]*ccl.Comm, error) {
+	return ccl.NewComms(fab, devs, Config())
+}

@@ -1,0 +1,34 @@
+package hccl
+
+import (
+	"testing"
+	"time"
+
+	"mpixccl/internal/ccl"
+	"mpixccl/internal/device"
+)
+
+func TestConfigPersonality(t *testing.T) {
+	cfg := Config()
+	if cfg.Launch != 270*time.Microsecond {
+		t.Errorf("launch = %v, want 270µs (paper §4.2)", cfg.Launch)
+	}
+	if !cfg.SupportsKind(device.HabanaHPU) || cfg.SupportsKind(device.NvidiaGPU) {
+		t.Error("HCCL must drive Habana HPUs only")
+	}
+	// §3.2: "HCCL only supports float currently".
+	if !cfg.Datatypes[ccl.Float32] {
+		t.Error("HCCL must support float32")
+	}
+	for _, dt := range []ccl.Datatype{ccl.Float64, ccl.Float16, ccl.Int32, ccl.Int64, ccl.Int8} {
+		if cfg.Datatypes[dt] {
+			t.Errorf("HCCL must not support %v", dt)
+		}
+	}
+	if len(cfg.StepOverheads) != 2 {
+		t.Fatalf("HCCL needs the 16B and 64B step overheads, got %d", len(cfg.StepOverheads))
+	}
+	if cfg.StepOverheads[0].Threshold != 17 || cfg.StepOverheads[1].Threshold != 65 {
+		t.Errorf("step thresholds = %+v, want 17 and 65", cfg.StepOverheads)
+	}
+}

@@ -1,0 +1,60 @@
+// Package msccl models the Microsoft Collective Communication Library: an
+// inter-accelerator framework that embeds an NCCL backend (2.12.12 in the
+// paper's setup) and adds programmable custom collective algorithms. New
+// communicators come with the "allpairs" allreduce schedule registered for
+// the medium-message window (256 B – 256 KB), which is where the paper
+// measures MSCCL beating its own NCCL backend (Fig 5d).
+package msccl
+
+import (
+	"time"
+
+	"mpixccl/internal/ccl"
+	"mpixccl/internal/ccl/nccl"
+	"mpixccl/internal/device"
+	"mpixccl/internal/fabric"
+)
+
+// Version is the MSCCL release modeled.
+const Version = "0.7"
+
+// BackendVersion is the NCCL release MSCCL embeds.
+const BackendVersion = nccl.LegacyVersion
+
+// CustomMinBytes and CustomMaxBytes bound the payload window the built-in
+// allpairs schedule covers.
+const (
+	CustomMinBytes = 256
+	CustomMaxBytes = 256 << 10
+)
+
+// Config returns MSCCL's personality: the embedded legacy NCCL with
+// MSCCL's own launch path on top.
+func Config() ccl.Config {
+	cfg := nccl.VersionConfig(BackendVersion)
+	cfg.Name = "msccl-" + Version
+	cfg.Launch = 28 * time.Microsecond
+	return cfg
+}
+
+// New creates MSCCL communicators with the default custom schedules
+// registered.
+func New(fab *fabric.Fabric, devs []*device.Device) ([]*ccl.Comm, error) {
+	comms, err := ccl.NewComms(fab, devs, Config())
+	if err != nil {
+		return nil, err
+	}
+	if len(devs) > 1 {
+		algo := ccl.AllPairsAllReduce(len(devs), CustomMinBytes, CustomMaxBytes)
+		if err := comms[0].RegisterAlgo(algo); err != nil {
+			return nil, err
+		}
+	}
+	return comms, nil
+}
+
+// NewPlain creates MSCCL communicators without any custom schedule (pure
+// embedded-NCCL behaviour), for ablation benchmarks.
+func NewPlain(fab *fabric.Fabric, devs []*device.Device) ([]*ccl.Comm, error) {
+	return ccl.NewComms(fab, devs, Config())
+}

@@ -1,0 +1,63 @@
+package msccl
+
+import (
+	"testing"
+	"time"
+
+	"mpixccl/internal/fabric"
+	"mpixccl/internal/sim"
+	"mpixccl/internal/topology"
+)
+
+func TestConfigEmbedsLegacyNCCL(t *testing.T) {
+	cfg := Config()
+	if cfg.Launch != 28*time.Microsecond {
+		t.Errorf("launch = %v, want 28µs (paper §4.2)", cfg.Launch)
+	}
+	if cfg.Channels != 10 {
+		t.Errorf("channels = %d, want the NCCL 2.12 budget of 10", cfg.Channels)
+	}
+	if BackendVersion != "2.12.12" {
+		t.Errorf("backend version = %s, want 2.12.12", BackendVersion)
+	}
+}
+
+func TestNewRegistersAllpairs(t *testing.T) {
+	k := sim.NewKernel()
+	sys := topology.ThetaGPU(k, 1)
+	fab := fabric.New(k, sys)
+	comms, err := New(fab, sys.Devices())
+	if err != nil {
+		t.Fatal(err)
+	}
+	algos := comms[0].Algos()
+	if len(algos) != 1 || algos[0].Name != "allpairs" {
+		t.Fatalf("algos = %v", algos)
+	}
+	if !algos[0].Matches("allreduce", 8, 4096) {
+		t.Error("allpairs should cover 4KB allreduce on 8 ranks")
+	}
+	if algos[0].Matches("allreduce", 8, 1<<20) {
+		t.Error("allpairs should not cover 1MB")
+	}
+	plain, err := NewPlain(fab, sys.Devices())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain[0].Algos()) != 0 {
+		t.Error("NewPlain must not register schedules")
+	}
+}
+
+func TestSingleDeviceCommHasNoAlgo(t *testing.T) {
+	k := sim.NewKernel()
+	sys := topology.ThetaGPU(k, 1)
+	fab := fabric.New(k, sys)
+	comms, err := New(fab, sys.Devices()[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comms[0].Algos()) != 0 {
+		t.Error("1-rank communicator should skip allpairs registration")
+	}
+}

@@ -1,0 +1,45 @@
+// Package oneccl models Intel's oneAPI Collective Communications Library,
+// the extension target the paper names as future work (§6): an
+// NCCL-API-compatible library driving Intel GPUs over Xe Link bridges and
+// SYCL queues. Unlike the other xCCLs, oneCCL ships a built-in Alltoall,
+// which this model exposes through the common group machinery.
+package oneccl
+
+import (
+	"time"
+
+	"mpixccl/internal/ccl"
+	"mpixccl/internal/device"
+	"mpixccl/internal/fabric"
+)
+
+// Version is the oneCCL release modeled.
+const Version = "2021.10"
+
+// Config returns oneCCL's personality. Constants follow public Aurora
+// bring-up experience: launch overhead between NCCL's and RCCL's, a wide
+// datatype matrix, and a moderate channel budget over Xe Link.
+func Config() ccl.Config {
+	return ccl.Config{
+		Name:  "oneccl-" + Version,
+		Kinds: []device.Kind{device.IntelGPU},
+		Datatypes: map[ccl.Datatype]bool{
+			ccl.Int8: true, ccl.Int32: true, ccl.Int64: true,
+			ccl.Float16: true, ccl.Float32: true, ccl.Float64: true,
+		},
+		Ops: map[ccl.RedOp]bool{
+			ccl.Sum: true, ccl.Prod: true, ccl.Max: true, ccl.Min: true,
+		},
+		Launch:           24 * time.Microsecond,
+		StepCost:         1400 * time.Nanosecond,
+		Channels:         8,
+		ChunkBytes:       512 << 10,
+		TreeThreshold:    128 << 10,
+		InterNodePenalty: 1.15, // early Slingshot provider inefficiency
+	}
+}
+
+// New creates oneCCL communicators over the devices.
+func New(fab *fabric.Fabric, devs []*device.Device) ([]*ccl.Comm, error) {
+	return ccl.NewComms(fab, devs, Config())
+}

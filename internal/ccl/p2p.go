@@ -1,0 +1,159 @@
+package ccl
+
+import (
+	"fmt"
+
+	"mpixccl/internal/device"
+	"mpixccl/internal/fabric"
+	"mpixccl/internal/sim"
+)
+
+// p2pChan returns the posting channel for messages src→dst. CCL p2p has no
+// tags: sends and receives between a pair match strictly in order.
+func (co *core) p2pChan(src, dst int) *sim.Chan[*p2pSlot] {
+	key := [2]int{src, dst}
+	ch, ok := co.p2pPost[key]
+	if !ok {
+		ch = sim.NewChan[*p2pSlot](co.fab.Kernel(), 4096)
+		co.p2pPost[key] = ch
+	}
+	return ch
+}
+
+func (c *Comm) validateP2P(buf *device.Buffer, count int, dt Datatype, peer int) error {
+	cfg := &c.core.cfg
+	if cfg.InjectFailure != Success {
+		return &Error{Backend: cfg.Name, Result: cfg.InjectFailure, Msg: "injected library failure"}
+	}
+	if peer < 0 || peer >= c.core.n {
+		return &Error{Backend: cfg.Name, Result: ErrInvalidArgument,
+			Msg: fmt.Sprintf("peer %d out of range", peer)}
+	}
+	if !cfg.Datatypes[dt] {
+		return &Error{Backend: cfg.Name, Result: ErrUnsupportedDatatype,
+			Msg: fmt.Sprintf("datatype %v not supported", dt)}
+	}
+	if int64(count)*int64(dt.Size()) > buf.Len() {
+		return &Error{Backend: cfg.Name, Result: ErrInvalidArgument, Msg: "buffer too small"}
+	}
+	return nil
+}
+
+// runSend executes one send: wait for the peer's posted receive, move the
+// bytes, signal completion.
+func (co *core) runSend(p *sim.Proc, rank int, op p2pOp) {
+	slot := co.p2pChan(rank, op.peer).Recv(p)
+	if slot.bytes < op.bytes {
+		panic(fmt.Sprintf("ccl: send of %d bytes into %d-byte posted recv", op.bytes, slot.bytes))
+	}
+	d := co.fab.Transfer(p, slot.buf.Slice(0, op.bytes), op.buf.Slice(0, op.bytes), op.bytes,
+		fabricOpts(co.cfg))
+	_ = d
+	slot.done.Fire()
+}
+
+// Send transmits count elements to peer on the stream. Outside a group it
+// enqueues immediately; inside a group it is deferred to GroupEnd.
+// CCL p2p matches by order per pair — there are no tags (§3.3).
+func (c *Comm) Send(buf *device.Buffer, count int, dt Datatype, peer int, s *device.Stream) error {
+	if err := c.validateP2P(buf, count, dt, peer); err != nil {
+		return err
+	}
+	op := p2pOp{peer: peer, buf: buf, bytes: int64(count) * int64(dt.Size())}
+	if c.group != nil {
+		c.group.sends = append(c.group.sends, op)
+		c.group.stream = s
+		return nil
+	}
+	co := c.core
+	rank := c.rank
+	s.Enqueue(fmt.Sprintf("%s/send/r%d", co.cfg.Name, rank), func(p *sim.Proc) {
+		p.Sleep(co.cfg.Launch)
+		co.runSend(p, rank, op)
+	})
+	return nil
+}
+
+// Recv posts a receive of count elements from peer on the stream; deferred
+// to GroupEnd inside a group.
+func (c *Comm) Recv(buf *device.Buffer, count int, dt Datatype, peer int, s *device.Stream) error {
+	if err := c.validateP2P(buf, count, dt, peer); err != nil {
+		return err
+	}
+	op := p2pOp{peer: peer, buf: buf, bytes: int64(count) * int64(dt.Size())}
+	if c.group != nil {
+		c.group.recvs = append(c.group.recvs, op)
+		c.group.stream = s
+		return nil
+	}
+	co := c.core
+	rank := c.rank
+	s.Enqueue(fmt.Sprintf("%s/recv/r%d", co.cfg.Name, rank), func(p *sim.Proc) {
+		p.Sleep(co.cfg.Launch)
+		slot := &p2pSlot{buf: op.buf, bytes: op.bytes, done: sim.NewEvent(p.Kernel())}
+		co.p2pChan(op.peer, rank).Send(p, slot)
+		slot.done.Wait(p)
+	})
+	return nil
+}
+
+// GroupStart begins batching Send/Recv calls on this rank handle
+// (xcclGroupStart). Groups fuse the batched operations into one stream
+// task: all receives are posted first, then sends run concurrently — the
+// mechanism that makes Listing 1's AlltoAllv deadlock-free.
+func (c *Comm) GroupStart() error {
+	if c.group != nil {
+		return &Error{Backend: c.core.cfg.Name, Result: ErrInvalidArgument, Msg: "nested group"}
+	}
+	c.group = &groupOps{}
+	return nil
+}
+
+// GroupEnd enqueues the batched operations as one fused task (xcclGroupEnd).
+func (c *Comm) GroupEnd() error {
+	if c.group == nil {
+		return &Error{Backend: c.core.cfg.Name, Result: ErrInvalidArgument, Msg: "group end without start"}
+	}
+	g := c.group
+	c.group = nil
+	if len(g.sends) == 0 && len(g.recvs) == 0 {
+		return nil
+	}
+	if g.stream == nil {
+		return &Error{Backend: c.core.cfg.Name, Result: ErrInvalidArgument, Msg: "group with no stream"}
+	}
+	co := c.core
+	rank := c.rank
+
+	g.stream.Enqueue(fmt.Sprintf("%s/group/r%d", co.cfg.Name, rank), func(p *sim.Proc) {
+		// One launch for the whole fused group: this is why group calls
+		// beat per-message launches.
+		p.Sleep(co.cfg.Launch)
+		k := p.Kernel()
+		// Post every receive first (non-blocking), so no send can wait
+		// on a receive that is queued behind it.
+		slots := make([]*p2pSlot, len(g.recvs))
+		for i, op := range g.recvs {
+			slots[i] = &p2pSlot{buf: op.buf, bytes: op.bytes, done: sim.NewEvent(k)}
+			co.p2pChan(op.peer, rank).Send(p, slots[i])
+		}
+		// Run sends concurrently; link contention serializes them physically.
+		counter := sim.NewCounter(k, len(g.sends))
+		for _, op := range g.sends {
+			op := op
+			k.Spawn(fmt.Sprintf("%s/gsend/r%d-%d", co.cfg.Name, rank, op.peer), func(cp *sim.Proc) {
+				co.runSend(cp, rank, op)
+				counter.Done()
+			})
+		}
+		counter.Wait(p)
+		for _, slot := range slots {
+			slot.done.Wait(p)
+		}
+	})
+	return nil
+}
+
+func fabricOpts(cfg Config) fabric.Opts {
+	return fabric.Opts{Channels: cfg.Channels, ChunkBytes: cfg.ChunkBytes}
+}

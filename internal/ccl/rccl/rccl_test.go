@@ -1,0 +1,24 @@
+package rccl
+
+import (
+	"testing"
+	"time"
+
+	"mpixccl/internal/device"
+)
+
+func TestConfigPersonality(t *testing.T) {
+	cfg := Config()
+	if cfg.Launch != 25*time.Microsecond {
+		t.Errorf("launch = %v, want 25µs (paper §4.2)", cfg.Launch)
+	}
+	if !cfg.SupportsKind(device.AMDGPU) || cfg.SupportsKind(device.NvidiaGPU) {
+		t.Error("RCCL must drive AMD GPUs only")
+	}
+	if cfg.Channels != 4 {
+		t.Errorf("channels = %d, want 4 (HDR rails; PCIe clamps intra)", cfg.Channels)
+	}
+	if cfg.InterNodePenalty <= 1 {
+		t.Error("RCCL's IB transport should carry an inter-node penalty")
+	}
+}

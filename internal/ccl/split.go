@@ -1,0 +1,82 @@
+package ccl
+
+import (
+	"sort"
+
+	"mpixccl/internal/sim"
+)
+
+// CommSplit partitions the communicator by color, the ncclCommSplit API
+// added in NCCL 2.18. Every rank must call it; ranks passing the same
+// color land in a new communicator ordered by (key, old rank). A negative
+// color returns nil (the rank opts out). The split is a blocking
+// rendezvous on the calling process p.
+func (c *Comm) CommSplit(p *sim.Proc, color, key int) (*Comm, error) {
+	co := c.core
+	if co.split == nil {
+		co.split = &splitState{
+			entries: make(map[int][2]int),
+			ready:   sim.NewEvent(co.fab.Kernel()),
+		}
+	}
+	sp := co.split
+	sp.entries[c.rank] = [2]int{color, key}
+	sp.arrived++
+	if sp.arrived < co.n {
+		sp.ready.Wait(p)
+	} else {
+		sp.result = make(map[int][]*Comm)
+		colors := map[int][]int{}
+		for r, ck := range sp.entries {
+			if ck[0] >= 0 {
+				colors[ck[0]] = append(colors[ck[0]], r)
+			}
+		}
+		for color, members := range colors {
+			sort.Slice(members, func(a, b int) bool {
+				ka, kb := sp.entries[members[a]][1], sp.entries[members[b]][1]
+				if ka != kb {
+					return ka < kb
+				}
+				return members[a] < members[b]
+			})
+			devs := co.devs[:0:0]
+			for _, r := range members {
+				devs = append(devs, co.devs[r])
+			}
+			comms, err := NewComms(co.fab, devs, co.cfg)
+			if err != nil {
+				sp.err = err
+				break
+			}
+			sp.result[color] = comms
+		}
+		co.split = nil
+		sp.ready.Fire()
+	}
+	if sp.err != nil {
+		return nil, sp.err
+	}
+	myColor := sp.entries[c.rank][0]
+	if myColor < 0 {
+		return nil, nil
+	}
+	comms := sp.result[myColor]
+	// Locate this rank's handle: handles are ordered like the sorted
+	// member list, so find our device.
+	for _, cc := range comms {
+		if cc.Device() == c.Device() {
+			return cc, nil
+		}
+	}
+	return nil, &Error{Backend: co.cfg.Name, Result: ErrInvalidArgument, Msg: "split lost a rank"}
+}
+
+// splitState coordinates one in-flight CommSplit across ranks.
+type splitState struct {
+	entries map[int][2]int
+	arrived int
+	ready   *sim.Event
+	result  map[int][]*Comm
+	err     error
+}

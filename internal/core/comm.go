@@ -1,0 +1,146 @@
+package core
+
+import (
+	"fmt"
+
+	"mpixccl/internal/ccl"
+	"mpixccl/internal/ccl/hccl"
+	"mpixccl/internal/ccl/msccl"
+	"mpixccl/internal/ccl/nccl"
+	"mpixccl/internal/ccl/oneccl"
+	"mpixccl/internal/ccl/rccl"
+	"mpixccl/internal/device"
+	"mpixccl/internal/mpi"
+)
+
+// Comm is one rank's xCCL view of an MPI communicator: the same MPI
+// collective API, with transparent CCL dispatch underneath. Obtain one via
+// Runtime.Wrap or Runtime.Run; use it only from the owning rank's process.
+type Comm struct {
+	rt  *Runtime
+	mpi *mpi.Comm
+}
+
+// MPI exposes the underlying MPI communicator (for p2p and escape hatches).
+func (x *Comm) MPI() *mpi.Comm { return x.mpi }
+
+// Rank returns the communicator-local rank.
+func (x *Comm) Rank() int { return x.mpi.Rank() }
+
+// Size returns the communicator size.
+func (x *Comm) Size() int { return x.mpi.Size() }
+
+// Device returns the rank's accelerator.
+func (x *Comm) Device() *device.Device { return x.mpi.Device() }
+
+// Runtime returns the owning xCCL runtime.
+func (x *Comm) Runtime() *Runtime { return x.rt }
+
+// backendConfig returns the personality of the runtime's backend without
+// instantiating a communicator.
+func backendConfig(kind BackendKind) (ccl.Config, error) {
+	switch kind {
+	case NCCL:
+		return nccl.Config(), nil
+	case RCCL:
+		return rccl.Config(), nil
+	case HCCL:
+		return hccl.Config(), nil
+	case MSCCL:
+		return msccl.Config(), nil
+	case OneCCL:
+		return oneccl.Config(), nil
+	case BackendKind(legacy):
+		return nccl.VersionConfig(nccl.LegacyVersion), nil
+	default:
+		return ccl.Config{}, fmt.Errorf("xccl: no config for backend %q", kind)
+	}
+}
+
+// cclComm returns (creating and caching on first use) this rank's CCL
+// communicator mirroring the MPI communicator — the communicator
+// maintenance box of Fig 2. Creation mirrors the real flow where the MPI
+// communicator bootstraps the CCL unique id.
+func (x *Comm) cclComm() (*ccl.Comm, error) {
+	rt := x.rt
+	key := fmt.Sprintf("%d/%s", x.mpi.ContextID(), rt.kind)
+	comms, ok := rt.cache[key]
+	if !ok {
+		devs := make([]*device.Device, x.Size())
+		for r := range devs {
+			devs[r] = x.mpi.RankDevice(r)
+		}
+		var err error
+		comms, err = newBackendComms(rt.kind, x.mpi.Job().Fabric(), devs)
+		if err != nil {
+			return nil, err
+		}
+		rt.cache[key] = comms
+	}
+	return comms[x.Rank()], nil
+}
+
+// decision is the outcome of the dispatch logic for one call.
+type decision struct {
+	useCCL bool
+	dt     ccl.Datatype
+	op     ccl.RedOp
+}
+
+// decide runs the §3.1–§3.4 checks: device-buffer identify, datatype and
+// reduction support, then the mode policy (hybrid tuning table lookup).
+// bufs are the user buffers that must live on the accelerator for a CCL
+// dispatch.
+func (x *Comm) decide(op OpKind, bytes int64, dt mpi.Datatype, rop *mpi.Op, bufs ...*device.Buffer) decision {
+	rt := x.rt
+	if rt.opts.Mode == PureMPI || rt.kind == "" || rt.kind == NoCCL {
+		return decision{}
+	}
+	cfg, err := backendConfig(rt.kind)
+	if err != nil {
+		return decision{}
+	}
+	if !cfg.SupportsKind(x.Device().Kind) {
+		rt.stats.Fallbacks.Device++
+		return decision{}
+	}
+	for _, b := range bufs {
+		if b != nil && !b.OnDevice() {
+			rt.stats.Fallbacks.HostBuffer++
+			return decision{}
+		}
+	}
+	cdt, ok := mapDatatype(dt)
+	if !ok || !cfg.Datatypes[cdt] {
+		rt.stats.Fallbacks.Datatype++
+		return decision{}
+	}
+	var cop ccl.RedOp
+	if rop != nil {
+		cop, ok = mapOp(*rop)
+		if !ok || !cfg.Ops[cop] {
+			rt.stats.Fallbacks.Op++
+			return decision{}
+		}
+	}
+	if rt.opts.Mode == Hybrid && rt.table.Lookup(op, bytes) == PathMPI {
+		return decision{}
+	}
+	return decision{useCCL: true, dt: cdt, op: cop}
+}
+
+// runCCL executes fn against the cached CCL communicator and this rank's
+// stream, blocking until the enqueued work completes (MPI semantics). A
+// CCL error falls back to nothing here — the caller handles it.
+func (x *Comm) runCCL(fn func(cc *ccl.Comm, s *device.Stream) error) error {
+	cc, err := x.cclComm()
+	if err != nil {
+		return err
+	}
+	s := x.rt.stream(x.mpi.WorldRank(), x.Device())
+	if err := fn(cc, s); err != nil {
+		return err
+	}
+	s.Synchronize(x.mpi.Proc())
+	return nil
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mpixccl/internal/mpi"
+)
+
+// Cross-path equivalence: for random payloads, communicator sizes, and
+// datatypes, the pure-MPI path, the pure-CCL path, and the hybrid path
+// must produce bitwise-identical allreduce results (floating-point sums
+// are order-sensitive, so this also pins down that every algorithm reduces
+// in rank order or in an order-insensitive pattern for the values used).
+
+// runAllreduce executes one allreduce on a fresh world and returns rank 0's
+// result bytes.
+func runAllreduce(t *testing.T, mode Mode, nranks, count int, dt mpi.Datatype, fill func(rank, i int) float64) []byte {
+	t.Helper()
+	rt := newRuntime(t, "thetagpu", nranks, Options{Backend: Auto, Mode: mode})
+	out := make([]byte, count*dt.Size())
+	err := rt.Run(func(x *Comm) {
+		esz := int64(dt.Size())
+		send := x.Device().MustMalloc(int64(count) * esz)
+		recv := x.Device().MustMalloc(int64(count) * esz)
+		for i := 0; i < count; i++ {
+			v := fill(x.Rank(), i)
+			switch dt {
+			case mpi.Float32:
+				send.SetFloat32(i, float32(v))
+			case mpi.Float64:
+				send.SetFloat64(i, v)
+			case mpi.Int32:
+				send.SetInt32(i, int32(v))
+			}
+		}
+		x.Allreduce(send, recv, count, dt, mpi.OpSum)
+		if x.Rank() == 0 {
+			copy(out, recv.Bytes())
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestAllPathsAgreeProperty(t *testing.T) {
+	f := func(seed int64, nRaw, countRaw uint8, dtRaw uint8) bool {
+		nranks := 2 + int(nRaw%7)  // 2..8
+		count := 1 + int(countRaw) // 1..256
+		dts := []mpi.Datatype{mpi.Float32, mpi.Float64, mpi.Int32}
+		dt := dts[int(dtRaw)%len(dts)]
+		rng := rand.New(rand.NewSource(seed))
+		// Small integer-valued floats: exactly representable, so any
+		// reduction order yields identical bits.
+		vals := make([][]float64, nranks)
+		for r := range vals {
+			vals[r] = make([]float64, count)
+			for i := range vals[r] {
+				vals[r][i] = float64(rng.Intn(64))
+			}
+		}
+		fill := func(rank, i int) float64 { return vals[rank][i] }
+		a := runAllreduce(t, PureMPI, nranks, count, dt, fill)
+		b := runAllreduce(t, PureCCL, nranks, count, dt, fill)
+		c := runAllreduce(t, Hybrid, nranks, count, dt, fill)
+		if len(a) != len(b) || len(b) != len(c) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] || b[i] != c[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Alltoall equivalence across paths and algorithm families (MPI uses Bruck
+// below its threshold and pairwise above; the CCL path uses group p2p).
+func TestAlltoallPathsAgreeProperty(t *testing.T) {
+	f := func(seed int64, countRaw uint16) bool {
+		nranks := 8
+		count := 1 + int(countRaw%3000) // straddles the Bruck/pairwise split
+		rng := rand.New(rand.NewSource(seed))
+		vals := make([][]float64, nranks)
+		for r := range vals {
+			vals[r] = make([]float64, nranks*count)
+			for i := range vals[r] {
+				vals[r][i] = float64(rng.Intn(1000))
+			}
+		}
+		run := func(mode Mode) []byte {
+			rt := newRuntime(t, "thetagpu", nranks, Options{Backend: Auto, Mode: mode})
+			out := make([]byte, nranks*count*4)
+			err := rt.Run(func(x *Comm) {
+				send := x.Device().MustMalloc(int64(nranks*count) * 4)
+				recv := x.Device().MustMalloc(int64(nranks*count) * 4)
+				for i := 0; i < nranks*count; i++ {
+					send.SetFloat32(i, float32(vals[x.Rank()][i]))
+				}
+				x.Alltoall(send, count, mpi.Float32, recv)
+				if x.Rank() == 3 {
+					copy(out, recv.Bytes())
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return out
+		}
+		a, b := run(PureMPI), run(PureCCL)
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// OpKind names a collective for tuning-table lookup.
+type OpKind string
+
+// Tuned operations.
+const (
+	OpAllreduce     OpKind = "allreduce"
+	OpReduce        OpKind = "reduce"
+	OpBcast         OpKind = "bcast"
+	OpAllgather     OpKind = "allgather"
+	OpAlltoall      OpKind = "alltoall"
+	OpAlltoallv     OpKind = "alltoallv"
+	OpGather        OpKind = "gather"
+	OpScatter       OpKind = "scatter"
+	OpReduceScatter OpKind = "reducescatter"
+)
+
+// Path is the dispatch decision recorded in a tuning table.
+type Path int
+
+const (
+	// PathMPI runs the traditional MPI algorithm.
+	PathMPI Path = iota
+	// PathCCL dispatches to the vendor library.
+	PathCCL
+)
+
+// String names the path.
+func (p Path) String() string {
+	if p == PathCCL {
+		return "ccl"
+	}
+	return "mpi"
+}
+
+// Threshold maps payload sizes up to MaxBytes (inclusive; 0 = unbounded)
+// to a path. Entries in a rule are sorted ascending with the unbounded
+// entry last.
+type Threshold struct {
+	MaxBytes int64 `json:"max_bytes"`
+	Path     Path  `json:"path"`
+}
+
+// TuningTable is the offline-tuned dispatch policy of §3.4: per operation,
+// size-banded path choices for one (system, backend) pair.
+type TuningTable struct {
+	System  string                 `json:"system"`
+	Backend string                 `json:"backend"`
+	Rules   map[OpKind][]Threshold `json:"rules"`
+}
+
+// Lookup returns the path for an operation at a payload size. Operations
+// without a rule default to the CCL path (capability checks still guard it).
+func (t *TuningTable) Lookup(op OpKind, bytes int64) Path {
+	if t == nil {
+		return PathCCL
+	}
+	rule, ok := t.Rules[op]
+	if !ok {
+		return PathCCL
+	}
+	for _, th := range rule {
+		if th.MaxBytes == 0 || bytes <= th.MaxBytes {
+			return th.Path
+		}
+	}
+	return PathCCL
+}
+
+// Set installs a rule, keeping thresholds sorted (unbounded entry last).
+func (t *TuningTable) Set(op OpKind, rule []Threshold) {
+	sorted := append([]Threshold(nil), rule...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		a, b := sorted[i].MaxBytes, sorted[j].MaxBytes
+		if a == 0 {
+			return false
+		}
+		if b == 0 {
+			return true
+		}
+		return a < b
+	})
+	if t.Rules == nil {
+		t.Rules = make(map[OpKind][]Threshold)
+	}
+	t.Rules[op] = sorted
+}
+
+// MarshalJSON round-trips through a stable representation.
+func (t *TuningTable) JSON() ([]byte, error) { return json.MarshalIndent(t, "", "  ") }
+
+// ParseTable loads a table from JSON (the xccltuner output format).
+func ParseTable(data []byte) (*TuningTable, error) {
+	var t TuningTable
+	if err := json.Unmarshal(data, &t); err != nil {
+		return nil, fmt.Errorf("xccl: parse tuning table: %w", err)
+	}
+	return &t, nil
+}
+
+// crossover builds the common two-band rule: MPI up to cross bytes, CCL above.
+func crossover(cross int64) []Threshold {
+	return []Threshold{{MaxBytes: cross, Path: PathMPI}, {MaxBytes: 0, Path: PathCCL}}
+}
+
+// DefaultTable returns the built-in offline-tuned table for a (system,
+// backend) pair. Crossover points mirror the paper's measurements: MPI wins
+// below ~16 KB against NCCL Allreduce (Fig 1a), below ~64 KB against RCCL
+// Allgather (Fig 1b), and much later against HCCL whose launch overhead is
+// 270 µs. Unknown pairs get a conservative generic table.
+func DefaultTable(system string, backend BackendKind) *TuningTable {
+	return DefaultTableFor(system, backend, false)
+}
+
+// DefaultTableFor returns the built-in table, with the multi-node variants
+// the offline tuner produces for cross-node jobs: RCCL's higher per-op
+// costs across nodes push its crossovers right (it still wins large
+// messages on its four HDR rails, per Fig 1b).
+func DefaultTableFor(system string, backend BackendKind, multiNode bool) *TuningTable {
+	t := &TuningTable{System: system, Backend: string(backend)}
+	if multiNode && backend == RCCL {
+		for _, op := range []OpKind{OpAllreduce, OpReduce, OpBcast, OpAllgather,
+			OpAlltoall, OpAlltoallv, OpReduceScatter, OpGather, OpScatter} {
+			t.Set(op, crossover(128<<10))
+		}
+		return t
+	}
+	switch backend {
+	case NCCL, MSCCL:
+		t.Set(OpAllreduce, crossover(16<<10))
+		t.Set(OpReduce, crossover(8<<10))
+		t.Set(OpBcast, crossover(8<<10))
+		t.Set(OpAllgather, crossover(16<<10))
+		t.Set(OpAlltoall, crossover(4<<10))
+		t.Set(OpAlltoallv, crossover(4<<10))
+		t.Set(OpReduceScatter, crossover(16<<10))
+		t.Set(OpGather, crossover(32<<10))
+		t.Set(OpScatter, crossover(32<<10))
+	case OneCCL:
+		t.Set(OpAllreduce, crossover(16<<10))
+		t.Set(OpReduce, crossover(8<<10))
+		t.Set(OpBcast, crossover(8<<10))
+		t.Set(OpAllgather, crossover(16<<10))
+		t.Set(OpAlltoall, crossover(8<<10))
+		t.Set(OpAlltoallv, crossover(8<<10))
+		t.Set(OpReduceScatter, crossover(16<<10))
+		t.Set(OpGather, crossover(32<<10))
+		t.Set(OpScatter, crossover(32<<10))
+	case RCCL:
+		t.Set(OpAllreduce, crossover(32<<10))
+		t.Set(OpReduce, crossover(16<<10))
+		t.Set(OpBcast, crossover(16<<10))
+		t.Set(OpAllgather, crossover(64<<10))
+		t.Set(OpAlltoall, crossover(16<<10))
+		t.Set(OpAlltoallv, crossover(16<<10))
+		t.Set(OpReduceScatter, crossover(32<<10))
+		t.Set(OpGather, crossover(64<<10))
+		t.Set(OpScatter, crossover(64<<10))
+	case HCCL:
+		// HCCL's 270 µs launch floor pushes the crossover far right.
+		for _, op := range []OpKind{OpAllreduce, OpReduce, OpBcast, OpAllgather,
+			OpAlltoall, OpAlltoallv, OpReduceScatter, OpGather, OpScatter} {
+			t.Set(op, crossover(1<<20))
+		}
+	default:
+		for _, op := range []OpKind{OpAllreduce, OpReduce, OpBcast, OpAllgather,
+			OpAlltoall, OpAlltoallv, OpReduceScatter, OpGather, OpScatter} {
+			t.Set(op, crossover(32<<10))
+		}
+	}
+	return t
+}

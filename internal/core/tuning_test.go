@@ -1,0 +1,126 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTuningLookupBands(t *testing.T) {
+	tab := &TuningTable{System: "test", Backend: "nccl"}
+	tab.Set(OpAllreduce, []Threshold{
+		{MaxBytes: 16 << 10, Path: PathMPI},
+		{MaxBytes: 0, Path: PathCCL},
+	})
+	cases := []struct {
+		bytes int64
+		want  Path
+	}{
+		{1, PathMPI}, {16 << 10, PathMPI}, {16<<10 + 1, PathCCL}, {1 << 30, PathCCL},
+	}
+	for _, c := range cases {
+		if got := tab.Lookup(OpAllreduce, c.bytes); got != c.want {
+			t.Errorf("lookup(%d) = %v, want %v", c.bytes, got, c.want)
+		}
+	}
+}
+
+func TestTuningLookupDefaults(t *testing.T) {
+	var nilTab *TuningTable
+	if nilTab.Lookup(OpAllreduce, 1) != PathCCL {
+		t.Error("nil table should default to CCL")
+	}
+	tab := &TuningTable{}
+	if tab.Lookup(OpBcast, 1) != PathCCL {
+		t.Error("missing rule should default to CCL")
+	}
+}
+
+func TestTuningSetSortsThresholds(t *testing.T) {
+	tab := &TuningTable{}
+	tab.Set(OpReduce, []Threshold{
+		{MaxBytes: 0, Path: PathCCL},
+		{MaxBytes: 1024, Path: PathMPI},
+		{MaxBytes: 64, Path: PathCCL},
+	})
+	rule := tab.Rules[OpReduce]
+	if rule[0].MaxBytes != 64 || rule[1].MaxBytes != 1024 || rule[2].MaxBytes != 0 {
+		t.Fatalf("rule order = %+v", rule)
+	}
+	if tab.Lookup(OpReduce, 32) != PathCCL || tab.Lookup(OpReduce, 512) != PathMPI {
+		t.Fatal("banded lookup wrong after sort")
+	}
+}
+
+func TestTuningJSONRoundTrip(t *testing.T) {
+	tab := DefaultTable("ThetaGPU", NCCL)
+	data, err := tab.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseTable(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.System != tab.System || back.Backend != tab.Backend {
+		t.Fatalf("round trip lost identity: %+v", back)
+	}
+	for _, bytes := range []int64{1, 4 << 10, 16 << 10, 64 << 10, 4 << 20} {
+		for _, op := range []OpKind{OpAllreduce, OpAlltoall, OpBcast} {
+			if back.Lookup(op, bytes) != tab.Lookup(op, bytes) {
+				t.Fatalf("lookup diverges after round trip: %s %d", op, bytes)
+			}
+		}
+	}
+}
+
+func TestParseTableRejectsGarbage(t *testing.T) {
+	if _, err := ParseTable([]byte("{nope")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestDefaultTableCrossovers(t *testing.T) {
+	// The built-in tables must encode the paper's measured crossovers:
+	// Fig 1a: MPI wins <=16 KB vs NCCL allreduce; Fig 1b: <=64 KB vs RCCL
+	// allgather; HCCL's 270 µs launch pushes everything to 1 MB.
+	nccl := DefaultTable("ThetaGPU", NCCL)
+	if nccl.Lookup(OpAllreduce, 16<<10) != PathMPI || nccl.Lookup(OpAllreduce, 32<<10) != PathCCL {
+		t.Error("NCCL allreduce crossover wrong")
+	}
+	if nccl.Lookup(OpAlltoall, 4<<10) != PathMPI || nccl.Lookup(OpAlltoall, 8<<10) != PathCCL {
+		t.Error("NCCL alltoall crossover wrong")
+	}
+	rccl := DefaultTable("MRI", RCCL)
+	if rccl.Lookup(OpAllgather, 64<<10) != PathMPI || rccl.Lookup(OpAllgather, 128<<10) != PathCCL {
+		t.Error("RCCL allgather crossover wrong")
+	}
+	hccl := DefaultTable("Voyager", HCCL)
+	if hccl.Lookup(OpAllreduce, 512<<10) != PathMPI || hccl.Lookup(OpAllreduce, 2<<20) != PathCCL {
+		t.Error("HCCL crossover wrong")
+	}
+}
+
+// Property: every lookup returns a decisive path and banding is monotone
+// within two-band crossover rules (MPI below, CCL above).
+func TestCrossoverMonotoneProperty(t *testing.T) {
+	f := func(crossRaw uint16, probeRaw uint32) bool {
+		cross := int64(crossRaw) + 1
+		tab := &TuningTable{}
+		tab.Set(OpAllreduce, crossover(cross))
+		probe := int64(probeRaw)
+		got := tab.Lookup(OpAllreduce, probe)
+		if probe <= cross {
+			return got == PathMPI
+		}
+		return got == PathCCL
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPathString(t *testing.T) {
+	if PathMPI.String() != "mpi" || PathCCL.String() != "ccl" {
+		t.Error("path names wrong")
+	}
+}

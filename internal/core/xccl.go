@@ -1,0 +1,283 @@
+// Package core implements the paper's primary contribution: the xCCL
+// abstraction layer inside a GPU-aware MPI runtime (Fig 2).
+//
+// Applications keep calling standard MPI collectives on an mpi.Comm; the
+// layer transparently decides, per call, whether to run the traditional MPI
+// algorithm or to dispatch to the vendor collective communication library
+// (NCCL, RCCL, HCCL, or MSCCL) appropriate for the accelerator:
+//
+//   - It identifies device buffers, manages per-rank streams, and caches
+//     one CCL communicator per MPI communicator (§3.1).
+//   - It maps MPI datatypes and reduction ops onto the backend's matrix and
+//     falls back to the MPI path when the CCL cannot serve the request —
+//     e.g. MPI_DOUBLE_COMPLEX anywhere, or anything but float on HCCL
+//     (§3.2), or any runtime CCL error (§1.2 advantage 3).
+//   - It synthesizes the collectives CCLs do not provide (Alltoall(v),
+//     Gather, Scatter, ...) from xcclSend/xcclRecv group calls (§3.3,
+//     Listing 1).
+//   - In hybrid mode it consults an offline-tuned table to pick the faster
+//     path per (operation, communicator, message size) (§3.4).
+package core
+
+import (
+	"fmt"
+
+	"mpixccl/internal/ccl"
+	"mpixccl/internal/ccl/hccl"
+	"mpixccl/internal/ccl/msccl"
+	"mpixccl/internal/ccl/nccl"
+	"mpixccl/internal/ccl/oneccl"
+	"mpixccl/internal/ccl/rccl"
+	"mpixccl/internal/device"
+	"mpixccl/internal/fabric"
+	"mpixccl/internal/mpi"
+	"mpixccl/internal/sim"
+	"mpixccl/internal/trace"
+)
+
+// Mode selects the dispatch policy.
+type Mode int
+
+const (
+	// Hybrid consults the tuning table per call (the proposed design).
+	Hybrid Mode = iota
+	// PureCCL always uses the CCL path when the backend is capable
+	// ("Proposed xCCL w/ Pure ..." in the evaluation).
+	PureCCL
+	// PureMPI never dispatches to a CCL (the traditional-MPI baseline).
+	PureMPI
+)
+
+// String names the mode as the evaluation labels it.
+func (m Mode) String() string {
+	switch m {
+	case Hybrid:
+		return "hybrid-xccl"
+	case PureCCL:
+		return "pure-xccl"
+	case PureMPI:
+		return "pure-mpi"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// BackendKind names a CCL backend, or Auto to pick by accelerator vendor.
+type BackendKind string
+
+// Backend kinds.
+const (
+	Auto   BackendKind = "auto"
+	NCCL   BackendKind = "nccl"
+	RCCL   BackendKind = "rccl"
+	HCCL   BackendKind = "hccl"
+	MSCCL  BackendKind = "msccl"
+	OneCCL BackendKind = "oneccl"
+	NoCCL  BackendKind = "none"
+	legacy             = "nccl-legacy" // internal: NCCL 2.12 for MSCCL baselines
+)
+
+// backendFor resolves Auto using the device kind (the per-vendor mapping
+// of Fig 2's bottom row).
+func backendFor(kind BackendKind, dev device.Kind) (BackendKind, error) {
+	if kind != Auto {
+		return kind, nil
+	}
+	switch dev {
+	case device.NvidiaGPU:
+		return NCCL, nil
+	case device.AMDGPU:
+		return RCCL, nil
+	case device.HabanaHPU:
+		return HCCL, nil
+	case device.IntelGPU:
+		return OneCCL, nil
+	default:
+		return "", fmt.Errorf("xccl: no CCL for device kind %v", dev)
+	}
+}
+
+// newBackendComms instantiates the backend's communicators.
+func newBackendComms(kind BackendKind, fab *fabric.Fabric, devs []*device.Device) ([]*ccl.Comm, error) {
+	switch kind {
+	case NCCL:
+		return nccl.New(fab, devs)
+	case RCCL:
+		return rccl.New(fab, devs)
+	case HCCL:
+		return hccl.New(fab, devs)
+	case MSCCL:
+		return msccl.New(fab, devs)
+	case OneCCL:
+		return oneccl.New(fab, devs)
+	case BackendKind(legacy):
+		return nccl.NewVersion(fab, devs, nccl.LegacyVersion)
+	default:
+		return nil, fmt.Errorf("xccl: unknown backend %q", kind)
+	}
+}
+
+// ResolveBackend resolves Auto against a device kind (exported for
+// harnesses that drive raw CCL communicators, e.g. the OMB pure-CCL
+// benchmarks).
+func ResolveBackend(kind BackendKind, dev device.Kind) (BackendKind, error) {
+	return backendFor(kind, dev)
+}
+
+// NewBackendComms instantiates raw communicators for a backend kind
+// (ncclCommInitAll and friends), for pure-CCL benchmarking.
+func NewBackendComms(kind BackendKind, fab *fabric.Fabric, devs []*device.Device) ([]*ccl.Comm, error) {
+	return newBackendComms(kind, fab, devs)
+}
+
+// LegacyNCCL names the NCCL 2.12 backend used as the MSCCL comparison
+// baseline in Fig 5d.
+const LegacyNCCL = BackendKind(legacy)
+
+// Stats counts dispatch decisions, for tests and reporting.
+type Stats struct {
+	// CCLOps and MPIOps count operations executed on each path.
+	CCLOps, MPIOps int
+	// Fallbacks counts MPI fallbacks by cause.
+	Fallbacks struct {
+		Datatype, Op, Device, HostBuffer, Error int
+	}
+}
+
+// Options configures a Runtime.
+type Options struct {
+	// Backend picks the CCL; Auto selects by accelerator vendor.
+	Backend BackendKind
+	// Mode is the dispatch policy; Hybrid is the paper's proposed design.
+	Mode Mode
+	// Table overrides the built-in tuning table (Hybrid mode only).
+	Table *TuningTable
+	// Trace, when non-nil, records every collective call (op, path,
+	// bytes, virtual duration).
+	Trace *trace.Recorder
+}
+
+// Runtime is the per-job xCCL state: backend choice, communicator cache,
+// and per-rank streams. One Runtime serves every rank of the job (ranks
+// share it safely because the simulation is cooperatively scheduled).
+type Runtime struct {
+	job   *mpi.Job
+	opts  Options
+	kind  BackendKind
+	table *TuningTable
+	stats Stats
+
+	streams map[int]*device.Stream // world rank -> stream
+	cache   map[string][]*ccl.Comm // comm cache key -> per-local-rank CCL comms
+	pending map[string]*commInit   // in-flight collective comm creation
+}
+
+type commInit struct {
+	arrived int
+	ready   *sim.Event
+	comms   []*ccl.Comm
+	err     error
+}
+
+// NewRuntime builds the xCCL layer for a job. With Backend Auto the CCL is
+// chosen from the job's first device; with Mode Hybrid and no explicit
+// Table the built-in table for (system, backend) is used.
+func NewRuntime(job *mpi.Job, opts Options) (*Runtime, error) {
+	rt := &Runtime{
+		job:     job,
+		opts:    opts,
+		streams: make(map[int]*device.Stream),
+		cache:   make(map[string][]*ccl.Comm),
+		pending: make(map[string]*commInit),
+	}
+	if opts.Mode != PureMPI {
+		kind, err := backendFor(opts.Backend, job.Fabric().System().Device(0).Kind)
+		if err != nil {
+			return nil, err
+		}
+		rt.kind = kind
+	}
+	rt.table = opts.Table
+	if rt.table == nil {
+		sys := job.Fabric().System()
+		rt.table = DefaultTableFor(sys.Name, rt.kind, sys.NumNodes() > 1)
+	}
+	return rt, nil
+}
+
+// Backend reports the resolved CCL backend.
+func (rt *Runtime) Backend() BackendKind { return rt.kind }
+
+// Job returns the MPI job the runtime layers over.
+func (rt *Runtime) Job() *mpi.Job { return rt.job }
+
+// Mode reports the dispatch policy.
+func (rt *Runtime) Mode() Mode { return rt.opts.Mode }
+
+// Stats returns dispatch counters.
+func (rt *Runtime) Stats() Stats { return rt.stats }
+
+// Table returns the active tuning table.
+func (rt *Runtime) Table() *TuningTable { return rt.table }
+
+// stream returns (creating lazily) the xCCL-internal stream for a rank's
+// device — the stream handling the layer manages for the user (§1.2
+// advantage 2).
+func (rt *Runtime) stream(worldRank int, dev *device.Device) *device.Stream {
+	s, ok := rt.streams[worldRank]
+	if !ok {
+		s = dev.NewStream()
+		rt.streams[worldRank] = s
+	}
+	return s
+}
+
+// Wrap returns the rank's xCCL view of an MPI communicator. Call it from
+// the rank's process.
+func (rt *Runtime) Wrap(c *mpi.Comm) *Comm {
+	return &Comm{rt: rt, mpi: c}
+}
+
+// Run launches fn on every rank of the job with a wrapped world
+// communicator and drives the simulation to completion.
+func (rt *Runtime) Run(fn func(x *Comm)) error {
+	return rt.job.Run(func(c *mpi.Comm) {
+		fn(rt.Wrap(c))
+	})
+}
+
+// mapDatatype translates an MPI datatype to the CCL's, reporting false for
+// types no CCL implements (the DoubleComplex fallback of §3.2).
+func mapDatatype(dt mpi.Datatype) (ccl.Datatype, bool) {
+	switch dt {
+	case mpi.Byte:
+		return ccl.Int8, true
+	case mpi.Int32:
+		return ccl.Int32, true
+	case mpi.Int64:
+		return ccl.Int64, true
+	case mpi.Float16:
+		return ccl.Float16, true
+	case mpi.Float32:
+		return ccl.Float32, true
+	case mpi.Float64:
+		return ccl.Float64, true
+	default:
+		return 0, false
+	}
+}
+
+// mapOp translates an MPI reduction to the CCL's.
+func mapOp(op mpi.Op) (ccl.RedOp, bool) {
+	switch op {
+	case mpi.OpSum:
+		return ccl.Sum, true
+	case mpi.OpProd:
+		return ccl.Prod, true
+	case mpi.OpMax:
+		return ccl.Max, true
+	case mpi.OpMin:
+		return ccl.Min, true
+	default:
+		return 0, false
+	}
+}

@@ -1,0 +1,143 @@
+package device
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Buffer is a contiguous allocation in device (or host) memory. Byte-level
+// access is exposed so communication layers can move real data; element
+// accessors interpret the bytes as little-endian scalars, matching what a
+// real GPU buffer of float32/float64/int32/... would hold.
+type Buffer struct {
+	dev   *Device // nil for detached host scratch buffers
+	data  []byte
+	freed bool
+}
+
+// NewHostBuffer allocates an unmanaged host buffer (no device accounting).
+// Use it for MPI host-path staging and for test reference data.
+func NewHostBuffer(n int64) *Buffer {
+	return &Buffer{data: make([]byte, n)}
+}
+
+// Device returns the owning device, or nil for unmanaged host buffers.
+func (b *Buffer) Device() *Device { return b.dev }
+
+// OnDevice reports whether the buffer lives in accelerator memory. This is
+// the "device buffer identify" check (cuPointerGetAttribute analogue) the
+// abstraction layer performs before choosing a CCL path.
+func (b *Buffer) OnDevice() bool { return b.dev != nil && b.dev.Kind != Host }
+
+// Len returns the buffer size in bytes.
+func (b *Buffer) Len() int64 { return int64(len(b.data)) }
+
+// Bytes exposes the backing storage. Communication layers use it to move
+// data; callers must not hold the slice across a Free.
+func (b *Buffer) Bytes() []byte { return b.data }
+
+// Slice returns a view of the byte range [off, off+n). The view shares
+// storage with, and is accounted to, the parent buffer.
+func (b *Buffer) Slice(off, n int64) *Buffer {
+	if off < 0 || n < 0 || off+n > int64(len(b.data)) {
+		panic(fmt.Sprintf("device: slice [%d,%d) out of range of %d-byte buffer", off, off+n, len(b.data)))
+	}
+	return &Buffer{dev: b.dev, data: b.data[off : off+n]}
+}
+
+// Free releases the allocation back to the device. Freeing a slice view or
+// a host buffer is a no-op; double-free panics (as CUDA would fail).
+func (b *Buffer) Free() {
+	if b.freed {
+		panic("device: double free")
+	}
+	b.freed = true
+	if b.dev != nil {
+		b.dev.allocated -= int64(len(b.data))
+		if b.dev.allocated < 0 {
+			b.dev.allocated = 0
+		}
+	}
+	b.data = nil
+}
+
+// Float32 returns element i interpreted as a float32.
+func (b *Buffer) Float32(i int) float32 {
+	return math.Float32frombits(binary.LittleEndian.Uint32(b.data[i*4:]))
+}
+
+// SetFloat32 stores v at element i.
+func (b *Buffer) SetFloat32(i int, v float32) {
+	binary.LittleEndian.PutUint32(b.data[i*4:], math.Float32bits(v))
+}
+
+// Float64 returns element i interpreted as a float64.
+func (b *Buffer) Float64(i int) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(b.data[i*8:]))
+}
+
+// SetFloat64 stores v at element i.
+func (b *Buffer) SetFloat64(i int, v float64) {
+	binary.LittleEndian.PutUint64(b.data[i*8:], math.Float64bits(v))
+}
+
+// Int32 returns element i interpreted as an int32.
+func (b *Buffer) Int32(i int) int32 {
+	return int32(binary.LittleEndian.Uint32(b.data[i*4:]))
+}
+
+// SetInt32 stores v at element i.
+func (b *Buffer) SetInt32(i int, v int32) {
+	binary.LittleEndian.PutUint32(b.data[i*4:], uint32(v))
+}
+
+// Int64 returns element i interpreted as an int64.
+func (b *Buffer) Int64(i int) int64 {
+	return int64(binary.LittleEndian.Uint64(b.data[i*8:]))
+}
+
+// SetInt64 stores v at element i.
+func (b *Buffer) SetInt64(i int, v int64) {
+	binary.LittleEndian.PutUint64(b.data[i*8:], uint64(v))
+}
+
+// FillFloat32 sets every 4-byte element to v.
+func (b *Buffer) FillFloat32(v float32) {
+	for i := 0; i < len(b.data)/4; i++ {
+		b.SetFloat32(i, v)
+	}
+}
+
+// FillFloat64 sets every 8-byte element to v.
+func (b *Buffer) FillFloat64(v float64) {
+	for i := 0; i < len(b.data)/8; i++ {
+		b.SetFloat64(i, v)
+	}
+}
+
+// FillBytes sets every byte to v.
+func (b *Buffer) FillBytes(v byte) {
+	for i := range b.data {
+		b.data[i] = v
+	}
+}
+
+// CopyFrom copies min(len) bytes from src into b (pure data movement; time
+// is charged by the caller through Device.CopyTime or a fabric transfer).
+func (b *Buffer) CopyFrom(src *Buffer) int {
+	return copy(b.data, src.data)
+}
+
+// Equal reports whether two buffers hold identical bytes.
+func (b *Buffer) Equal(o *Buffer) bool {
+	if len(b.data) != len(o.data) {
+		return false
+	}
+	for i := range b.data {
+		if b.data[i] != o.data[i] {
+			return false
+		}
+	}
+	return true
+}

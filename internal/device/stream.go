@@ -1,0 +1,95 @@
+package device
+
+import (
+	"fmt"
+
+	"mpixccl/internal/sim"
+)
+
+// Stream is an in-order execution queue on a device, mirroring CUDA/HIP
+// streams and SynapseAI queues. Work items enqueue without blocking the
+// caller; the stream's daemon process executes them one at a time in FIFO
+// order in virtual time. CCL collectives run on streams, which is exactly
+// the asynchrony the paper's abstraction layer has to manage.
+type Stream struct {
+	dev   *Device
+	id    int
+	tasks *sim.Chan[*streamTask]
+	proc  *sim.Proc
+	// last is the completion event of the most recently enqueued task,
+	// used to implement Synchronize and Event capture.
+	last *sim.Event
+}
+
+type streamTask struct {
+	name string
+	fn   func(p *sim.Proc)
+	done *sim.Event
+}
+
+// NewStream creates a stream on the device and starts its executor daemon.
+func (d *Device) NewStream() *Stream {
+	s := &Stream{
+		dev:   d,
+		id:    len(d.streams),
+		tasks: sim.NewChan[*streamTask](d.k, 1024),
+	}
+	d.streams = append(d.streams, s)
+	s.proc = d.k.SpawnDaemon(fmt.Sprintf("%s/stream%d", d, s.id), func(p *sim.Proc) {
+		for {
+			t := s.tasks.Recv(p)
+			t.fn(p)
+			t.done.Fire()
+		}
+	})
+	return s
+}
+
+// Device returns the stream's device.
+func (s *Stream) Device() *Device { return s.dev }
+
+// Enqueue schedules fn on the stream and returns its completion event.
+// fn runs on the stream's process; it may sleep, transfer, and synchronize
+// with peer streams. The caller does not block.
+func (s *Stream) Enqueue(name string, fn func(p *sim.Proc)) *sim.Event {
+	t := &streamTask{name: name, fn: fn, done: sim.NewEvent(s.dev.k)}
+	if !s.tasks.TrySend(t) {
+		panic(fmt.Sprintf("device: stream %s/%d queue overflow", s.dev, s.id))
+	}
+	s.last = t.done
+	return t.done
+}
+
+// EnqueueBusy schedules a fixed-duration work item (e.g. a compute kernel):
+// launch overhead plus busy time on the stream.
+func (s *Stream) EnqueueBusy(name string, busy sim.Time) *sim.Event {
+	d := s.dev
+	return s.Enqueue(name, func(p *sim.Proc) {
+		p.Sleep(d.KernelLaunch + busy)
+	})
+}
+
+// Synchronize blocks the calling process until every task enqueued so far
+// has completed (cudaStreamSynchronize).
+func (s *Stream) Synchronize(p *sim.Proc) {
+	if s.last != nil {
+		s.last.Wait(p)
+	}
+}
+
+// Record captures the stream's current tail as an Event (cudaEventRecord):
+// the returned event fires once all work enqueued before the call is done.
+func (s *Stream) Record() *sim.Event {
+	if s.last == nil {
+		ev := sim.NewEvent(s.dev.k)
+		ev.Fire()
+		return ev
+	}
+	return s.last
+}
+
+// WaitEvent enqueues a dependency: subsequent tasks on this stream do not
+// start until ev fires (cudaStreamWaitEvent).
+func (s *Stream) WaitEvent(ev *sim.Event) {
+	s.Enqueue("wait-event", func(p *sim.Proc) { ev.Wait(p) })
+}

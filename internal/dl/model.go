@@ -1,0 +1,120 @@
+// Package dl simulates the paper's application-level evaluation:
+// TensorFlow + Horovod synchronous data-parallel training (§4.4). A Model
+// describes a network's gradient tensors; the Trainer runs training steps
+// where each rank computes forward/backward in virtual time and then
+// allreduces gradients through one of the evaluated communication engines
+// (the proposed xCCL designs, the raw vendor CCL as Horovod drives it, or
+// the Open MPI baselines), reporting images/second.
+package dl
+
+import "fmt"
+
+// Tensor is one gradient tensor (float32 elements).
+type Tensor struct {
+	// Name identifies the layer parameter.
+	Name string
+	// Elems is the element count.
+	Elems int64
+}
+
+// Bytes returns the tensor's gradient payload size.
+func (t Tensor) Bytes() int64 { return t.Elems * 4 }
+
+// Model is a neural network's trainable-parameter inventory, in backward
+// (gradient production) order.
+type Model struct {
+	// Name labels the model.
+	Name string
+	// Tensors lists gradients in the order backprop produces them
+	// (output layers first).
+	Tensors []Tensor
+}
+
+// Params returns the total parameter count.
+func (m *Model) Params() int64 {
+	var sum int64
+	for _, t := range m.Tensors {
+		sum += t.Elems
+	}
+	return sum
+}
+
+// GradBytes returns the total per-step gradient traffic per rank.
+func (m *Model) GradBytes() int64 { return m.Params() * 4 }
+
+// ResNet50 builds the standard ResNet-50 v1 parameter inventory: conv stem,
+// four bottleneck stages of [3,4,6,3] blocks, and the 1000-way classifier —
+// about 25.6M parameters across 161 tensors, matching the network the
+// paper's Horovod benchmark trains.
+func ResNet50() *Model {
+	m := &Model{Name: "resnet50"}
+	add := func(name string, elems int64) {
+		m.Tensors = append(m.Tensors, Tensor{Name: name, Elems: elems})
+	}
+	conv := func(name string, kh, kw, cin, cout int64) {
+		add(name+"/kernel", kh*kw*cin*cout)
+		add(name+"/bn_gamma", cout)
+		add(name+"/bn_beta", cout)
+	}
+	// Built forward, then reversed into backprop order.
+	conv("conv1", 7, 7, 3, 64)
+	stages := []struct {
+		blocks     int
+		width, out int64
+	}{
+		{3, 64, 256}, {4, 128, 512}, {6, 256, 1024}, {3, 512, 2048},
+	}
+	cin := int64(64)
+	for si, st := range stages {
+		for b := 0; b < st.blocks; b++ {
+			prefix := fmt.Sprintf("stage%d/block%d", si+1, b)
+			conv(prefix+"/conv1", 1, 1, cin, st.width)
+			conv(prefix+"/conv2", 3, 3, st.width, st.width)
+			conv(prefix+"/conv3", 1, 1, st.width, st.out)
+			if b == 0 {
+				conv(prefix+"/downsample", 1, 1, cin, st.out)
+			}
+			cin = st.out
+		}
+	}
+	add("fc/kernel", 2048*1000)
+	add("fc/bias", 1000)
+	// Reverse into gradient production order.
+	for i, j := 0, len(m.Tensors)-1; i < j; i, j = i+1, j-1 {
+		m.Tensors[i], m.Tensors[j] = m.Tensors[j], m.Tensors[i]
+	}
+	return m
+}
+
+// Bucket is a Horovod fusion buffer: consecutive gradients fused into one
+// allreduce.
+type Bucket struct {
+	// Tensors are the fused members.
+	Tensors []Tensor
+	// Bytes is the fused payload.
+	Bytes int64
+}
+
+// FuseBuckets greedily packs tensors (in production order) into buckets of
+// at most fusionBytes, Horovod's tensor-fusion behaviour. Tensors larger
+// than the threshold travel alone.
+func FuseBuckets(tensors []Tensor, fusionBytes int64) []Bucket {
+	if fusionBytes <= 0 {
+		fusionBytes = 1
+	}
+	var out []Bucket
+	var cur Bucket
+	for _, t := range tensors {
+		b := t.Bytes()
+		if cur.Bytes > 0 && cur.Bytes+b > fusionBytes {
+			out = append(out, cur)
+			cur = Bucket{}
+		}
+		cur.Tensors = append(cur.Tensors, t)
+		cur.Bytes += b
+	}
+	if cur.Bytes > 0 {
+		out = append(out, cur)
+	}
+	return out
+}

@@ -1,0 +1,76 @@
+package dl
+
+import "testing"
+
+func TestVGG16Inventory(t *testing.T) {
+	m := VGG16()
+	params := m.Params()
+	// Canonical VGG-16 has ≈138M parameters.
+	if params < 134_000_000 || params > 140_000_000 {
+		t.Fatalf("params = %d, want ≈138M", params)
+	}
+	// fc1 dominates: one tensor with 102M parameters.
+	var biggest int64
+	for _, ts := range m.Tensors {
+		if ts.Elems > biggest {
+			biggest = ts.Elems
+		}
+	}
+	if biggest != 25088*4096 {
+		t.Fatalf("largest tensor = %d, want fc1's %d", biggest, 25088*4096)
+	}
+	// Backprop order: classifier first.
+	if m.Tensors[0].Name != "fc3/bias" {
+		t.Fatalf("first tensor = %s", m.Tensors[0].Name)
+	}
+}
+
+func TestBERTBaseInventory(t *testing.T) {
+	m := BERTBase()
+	params := m.Params()
+	// BERT-Base is ≈110M parameters.
+	if params < 106_000_000 || params > 113_000_000 {
+		t.Fatalf("params = %d, want ≈110M", params)
+	}
+	if len(m.Tensors) < 180 || len(m.Tensors) > 210 {
+		t.Fatalf("tensor count = %d, want ≈197", len(m.Tensors))
+	}
+}
+
+func TestModelsRegistry(t *testing.T) {
+	reg := Models()
+	for _, name := range []string{"resnet50", "vgg16", "bert"} {
+		mk, ok := reg[name]
+		if !ok {
+			t.Fatalf("registry missing %s", name)
+		}
+		if mk().Params() == 0 {
+			t.Fatalf("%s has no parameters", name)
+		}
+	}
+}
+
+// Workload sensitivity: VGG's giant FC tensors make training bandwidth
+// bound, so the hybrid design's win over pure CCL shrinks versus BERT's
+// many medium tensors.
+func TestHybridWinVariesByModel(t *testing.T) {
+	ratio := func(model *Model) float64 {
+		run := func(engine Engine) float64 {
+			rep, err := Train(Config{System: "thetagpu", Nodes: 1, BatchSize: 64,
+				Steps: 1, Engine: engine, Model: model})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return rep.ImgPerSec
+		}
+		return run(EngineXCCL) / run(EnginePureCCL)
+	}
+	bert := ratio(BERTBase())
+	vgg := ratio(VGG16())
+	if bert <= 1.0 {
+		t.Errorf("hybrid should win on BERT, ratio %.3f", bert)
+	}
+	if vgg >= bert {
+		t.Errorf("bandwidth-bound VGG (%.3f) should show a smaller hybrid win than BERT (%.3f)", vgg, bert)
+	}
+}

@@ -1,0 +1,217 @@
+package elem
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindSizes(t *testing.T) {
+	want := map[Kind]int{U8: 1, I32: 4, I64: 8, F16: 2, F32: 4, F64: 8, C128: 16}
+	for k, sz := range want {
+		if k.Size() != sz {
+			t.Errorf("kind %d size = %d, want %d", int(k), k.Size(), sz)
+		}
+	}
+}
+
+func TestUnknownKindPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Kind(99).Size()
+}
+
+func TestGetSetRoundTrip(t *testing.T) {
+	cases := map[Kind][]float64{
+		U8:   {0, 1, 100, 255},
+		I32:  {0, 1, -1, 3, 1 << 20},
+		I64:  {0, -5, 1 << 40},
+		F16:  {0, 1, -1, 0.5, 1024},
+		F32:  {0, 1.5, -2.25},
+		F64:  {0, 3.14159, -1e100},
+		C128: {0, 1, -2.5},
+	}
+	for k, vals := range cases {
+		b := make([]byte, 16*k.Size())
+		for i, v := range vals {
+			Set(k, b, i, v, -v)
+			re, im := Get(k, b, i)
+			if re != v {
+				t.Errorf("kind %d elem %d re = %v, want %v", int(k), i, re, v)
+			}
+			if k == C128 && im != -v {
+				t.Errorf("C128 elem %d im = %v, want %v", i, im, -v)
+			}
+		}
+	}
+}
+
+func TestU8Clamping(t *testing.T) {
+	b := make([]byte, 2)
+	Set(U8, b, 0, 300, 0)
+	Set(U8, b, 1, -5, 0)
+	if b[0] != 255 || b[1] != 0 {
+		t.Fatalf("clamped to %d, %d", b[0], b[1])
+	}
+}
+
+func TestFloat16RoundTripExactValues(t *testing.T) {
+	for _, v := range []float64{0, 1, -1, 0.5, 2, 1024, 65504, -65504, 0.0009765625} {
+		h := FloatToFloat16(v)
+		if got := Float16ToFloat(h); got != v {
+			t.Errorf("float16 round trip %v -> %v", v, got)
+		}
+	}
+}
+
+func TestFloat16Specials(t *testing.T) {
+	if !math.IsInf(Float16ToFloat(FloatToFloat16(math.Inf(1))), 1) {
+		t.Error("+inf lost")
+	}
+	if !math.IsInf(Float16ToFloat(FloatToFloat16(1e10)), 1) {
+		t.Error("overflow should become +inf")
+	}
+	if !math.IsNaN(Float16ToFloat(FloatToFloat16(math.NaN()))) {
+		t.Error("nan lost")
+	}
+	if Float16ToFloat(FloatToFloat16(1e-10)) != 0 {
+		t.Error("deep underflow should flush to zero")
+	}
+}
+
+// Property: any finite half value round-trips exactly through float64.
+func TestFloat16RoundTripProperty(t *testing.T) {
+	f := func(raw uint16) bool {
+		v := Float16ToFloat(raw)
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return true
+		}
+		return Float16ToFloat(FloatToFloat16(v)) == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceOpsF64(t *testing.T) {
+	mk := func(vals ...float64) []byte {
+		b := make([]byte, len(vals)*8)
+		for i, v := range vals {
+			Set(F64, b, i, v, 0)
+		}
+		return b
+	}
+	read := func(b []byte, i int) float64 { re, _ := Get(F64, b, i); return re }
+
+	dst := mk(1, -2, 3)
+	Reduce(OpSum, F64, dst, mk(10, 20, 30), 3)
+	if read(dst, 0) != 11 || read(dst, 1) != 18 || read(dst, 2) != 33 {
+		t.Fatal("sum wrong")
+	}
+	dst = mk(2, 3, 4)
+	Reduce(OpProd, F64, dst, mk(5, -1, 0.5), 3)
+	if read(dst, 0) != 10 || read(dst, 1) != -3 || read(dst, 2) != 2 {
+		t.Fatal("prod wrong")
+	}
+	dst = mk(1, 5)
+	Reduce(OpMax, F64, dst, mk(3, 2), 2)
+	if read(dst, 0) != 3 || read(dst, 1) != 5 {
+		t.Fatal("max wrong")
+	}
+	dst = mk(1, 5)
+	Reduce(OpMin, F64, dst, mk(3, 2), 2)
+	if read(dst, 0) != 1 || read(dst, 1) != 2 {
+		t.Fatal("min wrong")
+	}
+}
+
+func TestReduceComplexProd(t *testing.T) {
+	dst := make([]byte, 16)
+	src := make([]byte, 16)
+	Set(C128, dst, 0, 1, 2)
+	Set(C128, src, 0, 3, -1)
+	Reduce(OpProd, C128, dst, src, 1)
+	re, im := Get(C128, dst, 0)
+	if re != 5 || im != 5 { // (1+2i)(3-i) = 5+5i
+		t.Fatalf("complex prod = %v+%vi", re, im)
+	}
+}
+
+func TestReduceComplexMaxPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Reduce(OpMax, C128, make([]byte, 16), make([]byte, 16), 1)
+}
+
+// Property: OpSum over I64 agrees with native integer addition for values
+// that fit in the float64-exact range.
+func TestReduceSumI64Property(t *testing.T) {
+	f := func(a, b int32) bool {
+		x := make([]byte, 8)
+		y := make([]byte, 8)
+		Set(I64, x, 0, float64(a), 0)
+		Set(I64, y, 0, float64(b), 0)
+		Reduce(OpSum, I64, x, y, 1)
+		re, _ := Get(I64, x, 0)
+		return re == float64(int64(a)+int64(b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The specialized float32/float64 reduce paths must agree exactly with the
+// generic elementwise path.
+func TestSpecializedReduceMatchesGeneric(t *testing.T) {
+	vals := []float64{0, 1, -1, 0.5, 3.25, -1e20, 1e-20, 7}
+	for _, op := range []Op{OpSum, OpProd, OpMax, OpMin} {
+		for _, k := range []Kind{F32, F64} {
+			n := len(vals)
+			dst := make([]byte, n*k.Size())
+			src := make([]byte, n*k.Size())
+			ref := make([]byte, n*k.Size())
+			for i, v := range vals {
+				Set(k, dst, i, v, 0)
+				Set(k, ref, i, v, 0)
+				Set(k, src, i, vals[(i+3)%n], 0)
+			}
+			Reduce(op, k, dst, src, n) // specialized
+			// Generic reference via the scalar accessors.
+			for i := 0; i < n; i++ {
+				d, _ := Get(k, ref, i)
+				s, _ := Get(k, src, i)
+				var r float64
+				switch op {
+				case OpSum:
+					r = d + s
+				case OpProd:
+					r = d * s
+				case OpMax:
+					r = d
+					if s > d {
+						r = s
+					}
+				case OpMin:
+					r = d
+					if s < d {
+						r = s
+					}
+				}
+				Set(k, ref, i, r, 0)
+			}
+			for i := 0; i < n; i++ {
+				got, _ := Get(k, dst, i)
+				want, _ := Get(k, ref, i)
+				if got != want && !(math.IsNaN(got) && math.IsNaN(want)) {
+					t.Fatalf("kind %d op %d elem %d: %v != %v", int(k), int(op), i, got, want)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,225 @@
+// Package fabric moves bytes between simulated devices in virtual time.
+//
+// A transfer is priced by the α–β model of the link class connecting the
+// endpoints (topology.Link) and is subject to contention: every link
+// instance is a pool of channel units (sim.Resource), transfers carve the
+// message into pipeline chunks and re-acquire channels per chunk, so
+// concurrent flows share bandwidth adaptively. Intra-node device pairs
+// share one pool across both directions (which reproduces the measured
+// bidirectional-bandwidth shortfall of Fig 3d); inter-node flows contend on
+// per-node egress and ingress NIC pools.
+//
+// Data really moves: unless NoCopy is set, the destination buffer holds the
+// source bytes when Transfer returns.
+package fabric
+
+import (
+	"fmt"
+	"time"
+
+	"mpixccl/internal/device"
+	"mpixccl/internal/sim"
+	"mpixccl/internal/topology"
+)
+
+// DefaultChunk is the pipeline chunk size used when Opts.ChunkBytes is zero.
+const DefaultChunk = 512 << 10
+
+// Opts tunes one transfer.
+type Opts struct {
+	// Channels is the maximum channel units the transfer may drive.
+	// Zero means 1. The link's DirChannels still caps the grant. CCL
+	// backends pass their channel budget; the MPI path uses 1–2.
+	Channels int
+	// ChunkBytes overrides the pipeline chunk size.
+	ChunkBytes int64
+	// NoCopy skips byte movement for timing-only probes.
+	NoCopy bool
+}
+
+// Fabric prices and executes transfers over one system's links.
+type Fabric struct {
+	k   *sim.Kernel
+	sys *topology.System
+
+	intra    map[[2]int]*sim.Resource // unordered device-pair duplex pools
+	intraDir map[[2]int]*sim.Resource // ordered device-pair direction caps
+	egress   map[int]*sim.Resource    // per-node NIC egress pools
+	ingress  map[int]*sim.Resource    // per-node NIC ingress pools
+	hostlnk  map[int]*sim.Resource    // per-node host staging pools
+}
+
+// New returns a fabric for the system.
+func New(k *sim.Kernel, sys *topology.System) *Fabric {
+	return &Fabric{
+		k: k, sys: sys,
+		intra:    make(map[[2]int]*sim.Resource),
+		intraDir: make(map[[2]int]*sim.Resource),
+		egress:   make(map[int]*sim.Resource),
+		ingress:  make(map[int]*sim.Resource),
+		hostlnk:  make(map[int]*sim.Resource),
+	}
+}
+
+// System returns the topology the fabric runs over.
+func (f *Fabric) System() *topology.System { return f.sys }
+
+// Kernel returns the simulation kernel.
+func (f *Fabric) Kernel() *sim.Kernel { return f.k }
+
+func (f *Fabric) intraPool(a, b int) *sim.Resource {
+	key := [2]int{a, b}
+	if a > b {
+		key = [2]int{b, a}
+	}
+	r, ok := f.intra[key]
+	if !ok {
+		r = sim.NewResource(f.k, f.sys.Intra.TotalChannels)
+		f.intra[key] = r
+	}
+	return r
+}
+
+// intraDirPool caps one direction of a device pair at DirChannels, so
+// concurrent same-direction flows cannot exceed the direction's peak even
+// though the shared duplex pool is larger.
+func (f *Fabric) intraDirPool(a, b int) *sim.Resource {
+	key := [2]int{a, b}
+	r, ok := f.intraDir[key]
+	if !ok {
+		r = sim.NewResource(f.k, f.sys.Intra.DirChannels)
+		f.intraDir[key] = r
+	}
+	return r
+}
+
+func (f *Fabric) nodePool(m map[int]*sim.Resource, node int, link topology.Link) *sim.Resource {
+	r, ok := m[node]
+	if !ok {
+		r = sim.NewResource(f.k, link.TotalChannels)
+		m[node] = r
+	}
+	return r
+}
+
+// route describes the link class and contention pools for one transfer.
+type route struct {
+	link   topology.Link
+	pools  []*sim.Resource // acquired in order per chunk
+	local  bool            // same-device copy
+	device *device.Device  // for local copies
+}
+
+func (f *Fabric) route(src, dst *device.Device) (route, error) {
+	if src == nil || dst == nil {
+		return route{}, fmt.Errorf("fabric: transfer endpoint has no device (use node host buffers, not detached ones)")
+	}
+	if src == dst {
+		return route{local: true, device: src}, nil
+	}
+	if src.Node != dst.Node {
+		l := f.sys.Inter
+		return route{link: l, pools: []*sim.Resource{
+			f.nodePool(f.egress, src.Node, l),
+			f.nodePool(f.ingress, dst.Node, l),
+		}}, nil
+	}
+	if src.Kind == device.Host || dst.Kind == device.Host {
+		l := f.sys.HostLink
+		return route{link: l, pools: []*sim.Resource{f.nodePool(f.hostlnk, src.Node, l)}}, nil
+	}
+	return route{link: f.sys.Intra, pools: []*sim.Resource{
+		f.intraDirPool(src.ID, dst.ID),
+		f.intraPool(src.ID, dst.ID),
+	}}, nil
+}
+
+// Latency reports the uncontended α of the path between two devices.
+func (f *Fabric) Latency(src, dst *device.Device) time.Duration {
+	r, err := f.route(src, dst)
+	if err != nil || r.local {
+		return 0
+	}
+	return r.link.Alpha
+}
+
+// Transfer moves n bytes from src to dst, blocking p for the priced time,
+// and returns the elapsed virtual duration. n must not exceed either
+// buffer's length.
+func (f *Fabric) Transfer(p *sim.Proc, dst, src *device.Buffer, n int64, o Opts) time.Duration {
+	if n < 0 || n > src.Len() || n > dst.Len() {
+		panic(fmt.Sprintf("fabric: transfer of %d bytes between %d-byte src and %d-byte dst", n, src.Len(), dst.Len()))
+	}
+	start := p.Now()
+	r, err := f.route(src.Device(), dst.Device())
+	if err != nil {
+		panic(err)
+	}
+	if r.local {
+		p.Sleep(r.device.CopyTime(n))
+		if !o.NoCopy {
+			dst.CopyFrom(src)
+		}
+		return p.Now() - start
+	}
+	p.Sleep(r.link.Alpha)
+	want := o.Channels
+	if want < 1 {
+		want = 1
+	}
+	if want > r.link.DirChannels {
+		want = r.link.DirChannels
+	}
+	chunk := o.ChunkBytes
+	if chunk <= 0 {
+		chunk = DefaultChunk
+	}
+	for off := int64(0); off < n || (n == 0 && off == 0); off += chunk {
+		sz := chunk
+		if off+sz > n {
+			sz = n - off
+		}
+		if sz <= 0 {
+			break
+		}
+		// Acquire adaptively through every pool in order; if a later pool
+		// grants less, return the surplus to the earlier ones. This lets
+		// opposing flows converge to a fair split of a shared duplex pool
+		// instead of alternating full-width.
+		granted := r.pools[0].AcquireUpTo(p, want)
+		for _, pool := range r.pools[1:] {
+			g := pool.AcquireUpTo(p, granted)
+			if g < granted {
+				for _, prev := range r.pools {
+					if prev == pool {
+						break
+					}
+					prev.Release(granted - g)
+				}
+				granted = g
+			}
+		}
+		p.Sleep(time.Duration(float64(sz) / (float64(granted) * r.link.ChannelBW) * float64(time.Second)))
+		for _, pool := range r.pools {
+			pool.Release(granted)
+		}
+	}
+	if !o.NoCopy && n > 0 {
+		copy(dst.Bytes()[:n], src.Bytes()[:n])
+	}
+	return p.Now() - start
+}
+
+// ControlMsg charges the α of one small control message (e.g. an MPI
+// rendezvous RTS/CTS envelope) between two devices' owning endpoints.
+func (f *Fabric) ControlMsg(p *sim.Proc, src, dst *device.Device) time.Duration {
+	r, err := f.route(src, dst)
+	if err != nil {
+		panic(err)
+	}
+	if r.local {
+		return 0
+	}
+	p.Sleep(r.link.Alpha)
+	return r.link.Alpha
+}

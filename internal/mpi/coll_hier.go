@@ -1,0 +1,199 @@
+package mpi
+
+import "mpixccl/internal/device"
+
+// Hierarchical (two-level) collectives, the MVAPICH-style optimization for
+// multi-node jobs: combine within each node over the fast intra-node
+// fabric, exchange once between node leaders, then fan back out. Enabled
+// by Profile.UseHierarchical; plain flat algorithms remain the default so
+// the calibrated baseline behaviour is unchanged.
+
+// nodePlan describes the calling rank's position in the node hierarchy.
+type nodePlan struct {
+	leader      int   // communicator rank of this node's leader
+	localRanks  []int // comm ranks on this node, sorted ascending
+	leaders     []int // one leader rank per node, sorted ascending
+	leaderIndex int   // position of this node's leader within leaders
+	localIndex  int   // position of this rank within localRanks
+}
+
+// plan computes the hierarchy from device placement.
+func (c *Comm) plan() nodePlan {
+	byNode := map[int][]int{}
+	for r := 0; r < c.Size(); r++ {
+		n := c.RankDevice(r).Node
+		byNode[n] = append(byNode[n], r)
+	}
+	myNode := c.dev.Node
+	var p nodePlan
+	p.localRanks = byNode[myNode]
+	p.leader = p.localRanks[0]
+	nodes := make([]int, 0, len(byNode))
+	for n := range byNode {
+		nodes = append(nodes, n)
+	}
+	// Leaders in node order; node ids are dense from the topology builder,
+	// but sort defensively via insertion over the map iteration.
+	for i := 0; i < len(nodes); i++ {
+		for j := i + 1; j < len(nodes); j++ {
+			if nodes[j] < nodes[i] {
+				nodes[i], nodes[j] = nodes[j], nodes[i]
+			}
+		}
+	}
+	for i, n := range nodes {
+		p.leaders = append(p.leaders, byNode[n][0])
+		if n == myNode {
+			p.leaderIndex = i
+		}
+	}
+	for i, r := range p.localRanks {
+		if r == c.rank {
+			p.localIndex = i
+		}
+	}
+	return p
+}
+
+// spansMultipleNodes reports whether the communicator crosses nodes with
+// more than one rank on some node (the shape hierarchy helps).
+func (c *Comm) spansMultipleNodes() bool {
+	first := c.RankDevice(0).Node
+	multi, packed := false, false
+	for r := 1; r < c.Size(); r++ {
+		if c.RankDevice(r).Node != first {
+			multi = true
+		} else {
+			packed = true
+		}
+	}
+	return multi && packed
+}
+
+// AllreduceHierarchical is the explicit two-level allreduce: intra-node
+// binomial reduction to the node leader, leader-level recursive-doubling
+// allreduce, intra-node binomial broadcast. Allreduce dispatches here when
+// Profile.UseHierarchical is set and the communicator shape qualifies.
+func (c *Comm) AllreduceHierarchical(sendBuf, recvBuf *device.Buffer, count int, dt Datatype, op Op) {
+	c.enterColl()
+	bytes := int64(count) * int64(dt.Size())
+	if recvBuf != sendBuf {
+		copy(recvBuf.Bytes()[:bytes], sendBuf.Bytes()[:bytes])
+	}
+	if c.Size() == 1 || count == 0 {
+		return
+	}
+	if !c.spansMultipleNodes() {
+		epoch := c.nextEpoch()
+		c.allreduceRecDoubling(recvBuf, count, dt, op, epoch)
+		return
+	}
+	epoch := c.nextEpoch()
+	p := c.plan()
+	in := c.tmp(bytes)
+	defer in.Free()
+
+	// Phase 1: binomial reduce within the node, rooted at the leader.
+	reduceTag := tagOf(epoch, tagReduce)
+	c.treePhase(p.localRanks, p.localIndex, func(peer int, recvPhase bool) {
+		if recvPhase {
+			c.Recv(in, count, dt, peer, reduceTag)
+			c.reduceLocal(op, dt, recvBuf, in, count)
+		} else {
+			c.Send(recvBuf, count, dt, peer, reduceTag)
+		}
+	})
+
+	// Phase 2: recursive doubling among leaders.
+	if c.rank == p.leader && len(p.leaders) > 1 {
+		arTag := tagOf(epoch, tagAllreduce)
+		nl := len(p.leaders)
+		pof2 := 1
+		for pof2*2 <= nl {
+			pof2 *= 2
+		}
+		rem := nl - pof2
+		idx := p.leaderIndex
+		newIdx := -1
+		switch {
+		case idx < 2*rem && idx%2 == 0:
+			c.Send(recvBuf, count, dt, p.leaders[idx+1], arTag)
+		case idx < 2*rem:
+			c.Recv(in, count, dt, p.leaders[idx-1], arTag)
+			c.reduceLocal(op, dt, recvBuf, in, count)
+			newIdx = idx / 2
+		default:
+			newIdx = idx - rem
+		}
+		if newIdx >= 0 {
+			for mask := 1; mask < pof2; mask <<= 1 {
+				peerNew := newIdx ^ mask
+				peerIdx := peerNew + rem
+				if peerNew < rem {
+					peerIdx = peerNew*2 + 1
+				}
+				peer := p.leaders[peerIdx]
+				c.Sendrecv(recvBuf, count, dt, peer, arTag, in, count, dt, peer, arTag)
+				c.reduceLocal(op, dt, recvBuf, in, count)
+			}
+		}
+		switch {
+		case idx < 2*rem && idx%2 == 0:
+			c.Recv(recvBuf, count, dt, p.leaders[idx+1], arTag)
+		case idx < 2*rem:
+			c.Send(recvBuf, count, dt, p.leaders[idx-1], arTag)
+		}
+	}
+
+	// Phase 3: binomial broadcast within the node from the leader.
+	bcastTag := tagOf(epoch, tagBcast)
+	c.treeBcastPhase(p.localRanks, p.localIndex, func(peer int, recvPhase bool) {
+		if recvPhase {
+			c.Recv(recvBuf, count, dt, peer, bcastTag)
+		} else {
+			c.Send(recvBuf, count, dt, peer, bcastTag)
+		}
+	})
+}
+
+// treePhase runs a binomial reduction over the given rank group (rooted at
+// index 0): leaves send up, internal nodes receive children then send up.
+func (c *Comm) treePhase(group []int, idx int, exchange func(peer int, recvPhase bool)) {
+	n := len(group)
+	if n <= 1 {
+		return
+	}
+	for mask := 1; mask < n; mask <<= 1 {
+		if idx&mask != 0 {
+			exchange(group[idx-mask], false)
+			return
+		}
+		if idx+mask < n {
+			exchange(group[idx+mask], true)
+		}
+	}
+}
+
+// treeBcastPhase runs a binomial broadcast over the rank group (rooted at
+// index 0): receive from the parent, then forward down.
+func (c *Comm) treeBcastPhase(group []int, idx int, exchange func(peer int, recvPhase bool)) {
+	n := len(group)
+	if n <= 1 {
+		return
+	}
+	mask := 1
+	for mask < n {
+		if idx&mask != 0 {
+			exchange(group[idx-mask], true)
+			break
+		}
+		mask <<= 1
+	}
+	mask >>= 1
+	for mask > 0 {
+		if idx+mask < n {
+			exchange(group[idx+mask], false)
+		}
+		mask >>= 1
+	}
+}

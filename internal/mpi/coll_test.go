@@ -1,0 +1,476 @@
+package mpi
+
+import (
+	"testing"
+	"time"
+
+	"mpixccl/internal/sim"
+)
+
+// rankSizes covers power-of-two, non-power-of-two, and prime communicator
+// sizes, exercising the fold/unfold and uneven-segment paths.
+var rankSizes = []int{2, 3, 4, 5, 7, 8, 16}
+
+// countSizes straddle every algorithm switchover in MVAPICHProfile.
+var countSizes = []int{1, 3, 64, 4096, 100000}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	for _, n := range rankSizes {
+		j := newTestJob(t, n)
+		var maxArrive sim.Time
+		releases := make([]sim.Time, n)
+		err := j.Run(func(c *Comm) {
+			d := time.Duration(c.Rank()) * 10 * time.Microsecond
+			c.Proc().Sleep(d)
+			if c.Proc().Now() > maxArrive {
+				maxArrive = c.Proc().Now()
+			}
+			c.Barrier()
+			releases[c.Rank()] = c.Proc().Now()
+		})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for r, rel := range releases {
+			if rel < maxArrive {
+				t.Fatalf("n=%d: rank %d released at %v before last arrival %v", n, r, rel, maxArrive)
+			}
+		}
+	}
+}
+
+func TestBcastAllSizes(t *testing.T) {
+	for _, n := range rankSizes {
+		for _, count := range countSizes {
+			for _, root := range []int{0, n - 1} {
+				j := newTestJob(t, n)
+				err := j.Run(func(c *Comm) {
+					buf := c.Device().MustMalloc(int64(count) * 8)
+					if c.Rank() == root {
+						fillRank(buf, 42, count)
+					}
+					c.Bcast(buf, count, Float64, root)
+					for i := 0; i < count; i += 1 + count/7 {
+						if buf.Float64(i) != float64(42*1000+i) {
+							t.Fatalf("n=%d count=%d root=%d rank=%d elem %d = %v",
+								n, count, root, c.Rank(), i, buf.Float64(i))
+						}
+					}
+				})
+				if err != nil {
+					t.Fatalf("n=%d count=%d root=%d: %v", n, count, root, err)
+				}
+			}
+		}
+	}
+}
+
+func TestReduceAllSizes(t *testing.T) {
+	for _, n := range rankSizes {
+		for _, count := range countSizes {
+			root := n / 2
+			j := newTestJob(t, n)
+			err := j.Run(func(c *Comm) {
+				send := c.Device().MustMalloc(int64(count) * 8)
+				recv := c.Device().MustMalloc(int64(count) * 8)
+				for i := 0; i < count; i++ {
+					send.SetFloat64(i, float64(c.Rank()+1)*float64(i+1))
+				}
+				c.Reduce(send, recv, count, Float64, OpSum, root)
+				if c.Rank() == root {
+					sumRanks := float64(n*(n+1)) / 2
+					for i := 0; i < count; i += 1 + count/7 {
+						want := sumRanks * float64(i+1)
+						if recv.Float64(i) != want {
+							t.Fatalf("n=%d count=%d elem %d = %v, want %v", n, count, i, recv.Float64(i), want)
+						}
+					}
+				}
+			})
+			if err != nil {
+				t.Fatalf("n=%d count=%d: %v", n, count, err)
+			}
+		}
+	}
+}
+
+func TestAllreduceAllSizes(t *testing.T) {
+	for _, n := range rankSizes {
+		for _, count := range countSizes {
+			j := newTestJob(t, n)
+			err := j.Run(func(c *Comm) {
+				send := c.Device().MustMalloc(int64(count) * 8)
+				recv := c.Device().MustMalloc(int64(count) * 8)
+				for i := 0; i < count; i++ {
+					send.SetFloat64(i, float64(c.Rank()+1)*float64(i+1))
+				}
+				c.Allreduce(send, recv, count, Float64, OpSum)
+				sumRanks := float64(n*(n+1)) / 2
+				for i := 0; i < count; i += 1 + count/7 {
+					want := sumRanks * float64(i+1)
+					if recv.Float64(i) != want {
+						t.Fatalf("n=%d count=%d rank=%d elem %d = %v, want %v",
+							n, count, c.Rank(), i, recv.Float64(i), want)
+					}
+				}
+			})
+			if err != nil {
+				t.Fatalf("n=%d count=%d: %v", n, count, err)
+			}
+		}
+	}
+}
+
+func TestAllreduceMaxOp(t *testing.T) {
+	j := newTestJob(t, 5)
+	err := j.Run(func(c *Comm) {
+		send := c.Device().MustMalloc(16)
+		recv := c.Device().MustMalloc(16)
+		send.SetFloat64(0, float64(c.Rank()))
+		send.SetFloat64(1, -float64(c.Rank()))
+		c.Allreduce(send, recv, 2, Float64, OpMax)
+		if recv.Float64(0) != 4 || recv.Float64(1) != 0 {
+			t.Errorf("max = %v/%v", recv.Float64(0), recv.Float64(1))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllreduceDoubleComplex(t *testing.T) {
+	// The datatype no CCL supports must work through plain MPI.
+	j := newTestJob(t, 4)
+	err := j.Run(func(c *Comm) {
+		send := c.Device().MustMalloc(32) // 2 complex elements
+		recv := c.Device().MustMalloc(32)
+		send.SetFloat64(0, float64(c.Rank()))
+		send.SetFloat64(1, 1)
+		send.SetFloat64(2, 2)
+		send.SetFloat64(3, float64(c.Rank()))
+		c.Allreduce(send, recv, 2, DoubleComplex, OpSum)
+		if recv.Float64(0) != 6 || recv.Float64(1) != 4 || recv.Float64(2) != 8 || recv.Float64(3) != 6 {
+			t.Errorf("complex allreduce = %v %v %v %v",
+				recv.Float64(0), recv.Float64(1), recv.Float64(2), recv.Float64(3))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllgatherAllSizes(t *testing.T) {
+	for _, n := range rankSizes {
+		for _, count := range []int{1, 17, 4096, 20000} {
+			j := newTestJob(t, n)
+			err := j.Run(func(c *Comm) {
+				send := c.Device().MustMalloc(int64(count) * 8)
+				recv := c.Device().MustMalloc(int64(n*count) * 8)
+				fillRank(send, c.Rank(), count)
+				c.Allgather(send, count, Float64, recv)
+				for r := 0; r < n; r++ {
+					for i := 0; i < count; i += 1 + count/5 {
+						got := recv.Float64(r*count + i)
+						if got != float64(r*1000+i) {
+							t.Fatalf("n=%d count=%d rank=%d block %d elem %d = %v",
+								n, count, c.Rank(), r, i, got)
+						}
+					}
+				}
+			})
+			if err != nil {
+				t.Fatalf("n=%d count=%d: %v", n, count, err)
+			}
+		}
+	}
+}
+
+func TestAllgathervUnevenCounts(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 8} {
+		j := newTestJob(t, n)
+		counts := make([]int, n)
+		displs := make([]int, n)
+		total := 0
+		for r := 0; r < n; r++ {
+			counts[r] = r + 1
+			displs[r] = total
+			total += counts[r]
+		}
+		err := j.Run(func(c *Comm) {
+			mine := counts[c.Rank()]
+			send := c.Device().MustMalloc(int64(mine) * 8)
+			recv := c.Device().MustMalloc(int64(total) * 8)
+			fillRank(send, c.Rank(), mine)
+			c.Allgatherv(send, mine, Float64, recv, counts, displs)
+			for r := 0; r < n; r++ {
+				for i := 0; i < counts[r]; i++ {
+					got := recv.Float64(displs[r] + i)
+					if got != float64(r*1000+i) {
+						t.Fatalf("n=%d rank=%d block %d elem %d = %v", n, c.Rank(), r, i, got)
+					}
+				}
+			}
+		})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestAlltoallAllSizes(t *testing.T) {
+	for _, n := range rankSizes {
+		for _, count := range []int{1, 16, 3000} {
+			j := newTestJob(t, n)
+			err := j.Run(func(c *Comm) {
+				send := c.Device().MustMalloc(int64(n*count) * 8)
+				recv := c.Device().MustMalloc(int64(n*count) * 8)
+				for r := 0; r < n; r++ {
+					for i := 0; i < count; i++ {
+						// Block destined to rank r encodes (sender, dest, i).
+						send.SetFloat64(r*count+i, float64(c.Rank()*1e6+r*1e3+i))
+					}
+				}
+				c.Alltoall(send, count, Float64, recv)
+				for r := 0; r < n; r++ {
+					for i := 0; i < count; i += 1 + count/5 {
+						got := recv.Float64(r*count + i)
+						want := float64(r*1e6 + c.Rank()*1e3 + i)
+						if got != want {
+							t.Fatalf("n=%d count=%d rank=%d from %d elem %d = %v, want %v",
+								n, count, c.Rank(), r, i, got, want)
+						}
+					}
+				}
+			})
+			if err != nil {
+				t.Fatalf("n=%d count=%d: %v", n, count, err)
+			}
+		}
+	}
+}
+
+func TestAlltoallvListing1Shape(t *testing.T) {
+	// The exact operation of the paper's Listing 1: variable counts and
+	// displacements per peer.
+	const n = 4
+	j := newTestJob(t, n)
+	err := j.Run(func(c *Comm) {
+		sendCounts := make([]int, n)
+		sdispls := make([]int, n)
+		recvCounts := make([]int, n)
+		rdispls := make([]int, n)
+		sTotal := 0
+		for r := 0; r < n; r++ {
+			sendCounts[r] = c.Rank() + r + 1 // what I send to r
+			sdispls[r] = sTotal
+			sTotal += sendCounts[r]
+		}
+		rTotal := 0
+		for r := 0; r < n; r++ {
+			recvCounts[r] = r + c.Rank() + 1 // what r sends me
+			rdispls[r] = rTotal
+			rTotal += recvCounts[r]
+		}
+		send := c.Device().MustMalloc(int64(sTotal) * 8)
+		recv := c.Device().MustMalloc(int64(rTotal) * 8)
+		for r := 0; r < n; r++ {
+			for i := 0; i < sendCounts[r]; i++ {
+				send.SetFloat64(sdispls[r]+i, float64(c.Rank()*100+r*10+i))
+			}
+		}
+		c.Alltoallv(send, sendCounts, sdispls, Float64, recv, recvCounts, rdispls)
+		for r := 0; r < n; r++ {
+			for i := 0; i < recvCounts[r]; i++ {
+				got := recv.Float64(rdispls[r] + i)
+				want := float64(r*100 + c.Rank()*10 + i)
+				if got != want {
+					t.Fatalf("rank %d block %d elem %d = %v, want %v", c.Rank(), r, i, got, want)
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGatherScatterRoundTrip(t *testing.T) {
+	for _, n := range []int{2, 5, 8} {
+		const count = 128
+		j := newTestJob(t, n)
+		err := j.Run(func(c *Comm) {
+			root := 0
+			mine := c.Device().MustMalloc(count * 8)
+			fillRank(mine, c.Rank(), count)
+			gathered := c.Device().MustMalloc(int64(n) * count * 8)
+			c.Gather(mine, count, Float64, gathered, root)
+			if c.Rank() == root {
+				for r := 0; r < n; r++ {
+					if gathered.Float64(r*count+5) != float64(r*1000+5) {
+						t.Errorf("gather block %d wrong", r)
+					}
+				}
+			}
+			// Scatter the gathered data back out; every rank must get its
+			// original block.
+			back := c.Device().MustMalloc(count * 8)
+			c.Scatter(gathered, count, Float64, back, root)
+			if back.Float64(7) != float64(c.Rank()*1000+7) {
+				t.Errorf("scatter to rank %d wrong: %v", c.Rank(), back.Float64(7))
+			}
+		})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestReduceScatterBlock(t *testing.T) {
+	for _, n := range []int{2, 4, 7} {
+		const count = 100
+		j := newTestJob(t, n)
+		err := j.Run(func(c *Comm) {
+			send := c.Device().MustMalloc(int64(n*count) * 8)
+			recv := c.Device().MustMalloc(count * 8)
+			for i := 0; i < n*count; i++ {
+				send.SetFloat64(i, float64(i)+float64(c.Rank()))
+			}
+			c.ReduceScatterBlock(send, recv, count, Float64, OpSum)
+			sumRankOffsets := float64(n*(n-1)) / 2
+			for i := 0; i < count; i += 9 {
+				idx := c.Rank()*count + i
+				want := float64(n)*float64(idx) + sumRankOffsets
+				if recv.Float64(i) != want {
+					t.Fatalf("n=%d rank=%d elem %d = %v, want %v", n, c.Rank(), i, recv.Float64(i), want)
+				}
+			}
+		})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestCommSplitSubCommunicators(t *testing.T) {
+	j := newTestJob(t, 8)
+	err := j.Run(func(c *Comm) {
+		// Two groups of 4 by parity; key reverses order inside the group.
+		sub := c.Split(c.Rank()%2, -c.Rank())
+		if sub.Size() != 4 {
+			t.Errorf("sub size = %d", sub.Size())
+		}
+		// Allreduce within the split must only sum the group's members.
+		send := sub.Device().MustMalloc(8)
+		recv := sub.Device().MustMalloc(8)
+		send.SetFloat64(0, float64(c.Rank()))
+		sub.Allreduce(send, recv, 1, Float64, OpSum)
+		want := 0.0 + 2 + 4 + 6
+		if c.Rank()%2 == 1 {
+			want = 1 + 3 + 5 + 7
+		}
+		if recv.Float64(0) != want {
+			t.Errorf("rank %d sub-sum = %v, want %v", c.Rank(), recv.Float64(0), want)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommSplitUndefinedColor(t *testing.T) {
+	j := newTestJob(t, 4)
+	err := j.Run(func(c *Comm) {
+		color := 0
+		if c.Rank() == 3 {
+			color = -1
+		}
+		sub := c.Split(color, c.Rank())
+		if c.Rank() == 3 {
+			if sub != nil {
+				t.Error("undefined color returned a communicator")
+			}
+			return
+		}
+		if sub.Size() != 3 {
+			t.Errorf("sub size = %d", sub.Size())
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommDupIsolatesTraffic(t *testing.T) {
+	j := newTestJob(t, 2)
+	err := j.Run(func(c *Comm) {
+		dup := c.Dup()
+		buf := c.Device().MustMalloc(8)
+		if c.Rank() == 0 {
+			buf.SetFloat64(0, 1)
+			c.Send(buf, 1, Float64, 1, 0)
+			buf.SetFloat64(0, 2)
+			dup.Send(buf, 1, Float64, 1, 0)
+		} else {
+			// Receive on the dup first: must get the dup's message even
+			// though the parent's arrived first.
+			dup.Recv(buf, 1, Float64, 0, 0)
+			if buf.Float64(0) != 2 {
+				t.Errorf("dup recv = %v, want 2", buf.Float64(0))
+			}
+			c.Recv(buf, 1, Float64, 0, 0)
+			if buf.Float64(0) != 1 {
+				t.Errorf("parent recv = %v, want 1", buf.Float64(0))
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Collective timing sanity: for a fixed op, latency grows with message size
+// and the large-message algorithm is bandwidth-bound, not latency-bound.
+func TestAllreduceLatencyMonotoneInSize(t *testing.T) {
+	var prev time.Duration
+	for _, count := range []int{64, 1024, 16384, 262144} {
+		j := newTestJob(t, 8)
+		var lat time.Duration
+		err := j.Run(func(c *Comm) {
+			send := c.Device().MustMalloc(int64(count) * 4)
+			recv := c.Device().MustMalloc(int64(count) * 4)
+			c.Barrier()
+			start := c.Proc().Now()
+			c.Allreduce(send, recv, count, Float32, OpSum)
+			if d := c.Proc().Now() - start; d > lat {
+				lat = d
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lat <= prev {
+			t.Fatalf("latency not monotone: %v after %v at count %d", lat, prev, count)
+		}
+		prev = lat
+	}
+}
+
+func TestCollectivesOnSingleRank(t *testing.T) {
+	j := newTestJob(t, 1)
+	err := j.Run(func(c *Comm) {
+		buf := c.Device().MustMalloc(64)
+		out := c.Device().MustMalloc(64)
+		c.Barrier()
+		c.Bcast(buf, 8, Float64, 0)
+		buf.SetFloat64(0, 5)
+		c.Allreduce(buf, out, 8, Float64, OpSum)
+		if out.Float64(0) != 5 {
+			t.Errorf("single-rank allreduce = %v", out.Float64(0))
+		}
+		c.Allgather(buf, 8, Float64, out)
+		c.Alltoall(buf, 8, Float64, out)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

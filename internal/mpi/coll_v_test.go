@@ -1,0 +1,220 @@
+package mpi
+
+import (
+	"testing"
+	"time"
+)
+
+func TestGathervScattervRoundTrip(t *testing.T) {
+	for _, n := range []int{2, 4, 7} {
+		j := newTestJob(t, n)
+		counts := make([]int, n)
+		displs := make([]int, n)
+		total := 0
+		for r := 0; r < n; r++ {
+			counts[r] = 10 * (r + 1)
+			displs[r] = total
+			total += counts[r]
+		}
+		err := j.Run(func(c *Comm) {
+			root := n - 1
+			mine := counts[c.Rank()]
+			send := c.Device().MustMalloc(int64(mine) * 8)
+			fillRank(send, c.Rank(), mine)
+			gathered := c.Device().MustMalloc(int64(total) * 8)
+			c.Gatherv(send, mine, Float64, gathered, counts, displs, root)
+			if c.Rank() == root {
+				for r := 0; r < n; r++ {
+					for i := 0; i < counts[r]; i += 3 {
+						if got := gathered.Float64(displs[r] + i); got != float64(r*1000+i) {
+							t.Errorf("n=%d block %d elem %d = %v", n, r, i, got)
+						}
+					}
+				}
+			}
+			back := c.Device().MustMalloc(int64(mine) * 8)
+			c.Scatterv(gathered, counts, displs, Float64, back, mine, root)
+			for i := 0; i < mine; i += 3 {
+				if got := back.Float64(i); got != float64(c.Rank()*1000+i) {
+					t.Errorf("n=%d rank %d scatterv elem %d = %v", n, c.Rank(), i, got)
+				}
+			}
+		})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestGathervZeroCounts(t *testing.T) {
+	j := newTestJob(t, 4)
+	counts := []int{5, 0, 7, 0}
+	displs := []int{0, 5, 5, 12}
+	err := j.Run(func(c *Comm) {
+		mine := counts[c.Rank()]
+		send := c.Device().MustMalloc(64)
+		fillRank(send, c.Rank(), mine)
+		recv := c.Device().MustMalloc(96)
+		c.Gatherv(send, mine, Float64, recv, counts, displs, 0)
+		if c.Rank() == 0 {
+			if recv.Float64(0) != 0 || recv.Float64(5) != 2000 {
+				t.Errorf("gatherv with holes: %v %v", recv.Float64(0), recv.Float64(5))
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScanInclusive(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 8} {
+		j := newTestJob(t, n)
+		err := j.Run(func(c *Comm) {
+			send := c.Device().MustMalloc(16)
+			recv := c.Device().MustMalloc(16)
+			send.SetFloat64(0, float64(c.Rank()+1))
+			send.SetFloat64(1, 1)
+			c.Scan(send, recv, 2, Float64, OpSum)
+			r := c.Rank()
+			wantSum := float64((r + 1) * (r + 2) / 2)
+			if recv.Float64(0) != wantSum || recv.Float64(1) != float64(r+1) {
+				t.Errorf("n=%d rank %d scan = %v/%v, want %v/%v",
+					n, r, recv.Float64(0), recv.Float64(1), wantSum, r+1)
+			}
+		})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestExscanExclusive(t *testing.T) {
+	const n = 6
+	j := newTestJob(t, n)
+	err := j.Run(func(c *Comm) {
+		send := c.Device().MustMalloc(8)
+		recv := c.Device().MustMalloc(8)
+		send.SetFloat64(0, float64(c.Rank()+1))
+		recv.SetFloat64(0, -99) // sentinel: rank 0's recv must stay untouched
+		c.Exscan(send, recv, 1, Float64, OpSum)
+		r := c.Rank()
+		if r == 0 {
+			if recv.Float64(0) != -99 {
+				t.Errorf("rank 0 exscan wrote recv: %v", recv.Float64(0))
+			}
+			return
+		}
+		want := float64(r * (r + 1) / 2)
+		if recv.Float64(0) != want {
+			t.Errorf("rank %d exscan = %v, want %v", r, recv.Float64(0), want)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScanMaxOp(t *testing.T) {
+	const n = 5
+	j := newTestJob(t, n)
+	err := j.Run(func(c *Comm) {
+		send := c.Device().MustMalloc(8)
+		recv := c.Device().MustMalloc(8)
+		// Values 3,1,4,1,5: running max 3,3,4,4,5.
+		vals := []float64{3, 1, 4, 1, 5}
+		maxes := []float64{3, 3, 4, 4, 5}
+		send.SetFloat64(0, vals[c.Rank()])
+		c.Scan(send, recv, 1, Float64, OpMax)
+		if recv.Float64(0) != maxes[c.Rank()] {
+			t.Errorf("rank %d scan-max = %v, want %v", c.Rank(), recv.Float64(0), maxes[c.Rank()])
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNonblockingCollectivesOverlap(t *testing.T) {
+	const n = 4
+	j := newTestJob(t, n)
+	err := j.Run(func(c *Comm) {
+		a := c.Device().MustMalloc(1 << 20)
+		b := c.Device().MustMalloc(1 << 20)
+		a.FillFloat32(1)
+		r1 := c.Iallreduce(a, b, 1<<18, Float32, OpSum)
+		bc := c.Device().MustMalloc(4096)
+		if c.Rank() == 2 {
+			bc.FillFloat32(7)
+		}
+		r2 := c.Ibcast(bc, 1024, Float32, 2)
+		r3 := c.Ibarrier()
+		c.Wait(r1)
+		c.Wait(r2)
+		c.Wait(r3)
+		if b.Float32(5) != float32(n) {
+			t.Errorf("iallreduce = %v", b.Float32(5))
+		}
+		if bc.Float32(5) != 7 {
+			t.Errorf("ibcast = %v", bc.Float32(5))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Two nonblocking collectives of the same type issued back to back must
+// match by issue order on every rank even if execution interleaves.
+func TestNonblockingSameTypeOrdering(t *testing.T) {
+	const n = 4
+	j := newTestJob(t, n)
+	err := j.Run(func(c *Comm) {
+		x := c.Device().MustMalloc(8)
+		y := c.Device().MustMalloc(8)
+		outX := c.Device().MustMalloc(8)
+		outY := c.Device().MustMalloc(8)
+		x.SetFloat64(0, 1)
+		y.SetFloat64(0, 100)
+		// Issue in the same order everywhere; stagger ranks so execution
+		// interleaves differently per rank.
+		c.Proc().Sleep(time.Duration(c.Rank()) * 7 * time.Microsecond)
+		r1 := c.Iallreduce(x, outX, 1, Float64, OpSum)
+		r2 := c.Iallreduce(y, outY, 1, Float64, OpSum)
+		c.Wait(r2)
+		c.Wait(r1)
+		if outX.Float64(0) != float64(n) || outY.Float64(0) != float64(100*n) {
+			t.Errorf("rank %d got %v/%v, want %d/%d", c.Rank(), outX.Float64(0), outY.Float64(0), n, 100*n)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIreduceAndIgatherStyleOps(t *testing.T) {
+	const n = 4
+	j := newTestJob(t, n)
+	err := j.Run(func(c *Comm) {
+		send := c.Device().MustMalloc(64)
+		recv := c.Device().MustMalloc(64)
+		all := c.Device().MustMalloc(64 * n)
+		send.FillFloat32(float32(c.Rank() + 1))
+		r1 := c.Ireduce(send, recv, 16, Float32, OpSum, 0)
+		r2 := c.Iallgather(send, 16, Float32, all)
+		a2a := c.Device().MustMalloc(64 * n)
+		r3 := c.Ialltoall(all, 16, Float32, a2a)
+		c.Wait(r1)
+		c.Wait(r2)
+		c.Wait(r3)
+		if c.Rank() == 0 && recv.Float32(3) != 10 {
+			t.Errorf("ireduce = %v", recv.Float32(3))
+		}
+		if all.Float32(16*2+3) != 3 {
+			t.Errorf("iallgather = %v", all.Float32(16*2+3))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

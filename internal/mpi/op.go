@@ -1,0 +1,72 @@
+package mpi
+
+import (
+	"fmt"
+
+	"mpixccl/internal/elem"
+)
+
+// Op identifies an MPI reduction operation.
+type Op int
+
+const (
+	// OpSum is MPI_SUM.
+	OpSum Op = iota
+	// OpProd is MPI_PROD.
+	OpProd
+	// OpMax is MPI_MAX.
+	OpMax
+	// OpMin is MPI_MIN.
+	OpMin
+)
+
+// String returns the MPI constant name.
+func (o Op) String() string {
+	switch o {
+	case OpSum:
+		return "MPI_SUM"
+	case OpProd:
+		return "MPI_PROD"
+	case OpMax:
+		return "MPI_MAX"
+	case OpMin:
+		return "MPI_MIN"
+	}
+	return fmt.Sprintf("Op(%d)", int(o))
+}
+
+// Ops lists every supported reduction, for capability-matrix iteration.
+func Ops() []Op { return []Op{OpSum, OpProd, OpMax, OpMin} }
+
+// ValidFor reports whether the op is defined on the datatype per the MPI
+// standard: MAX/MIN are undefined on complex types.
+func (o Op) ValidFor(dt Datatype) bool {
+	if dt == DoubleComplex {
+		return o == OpSum || o == OpProd
+	}
+	return true
+}
+
+func (o Op) elemOp() elem.Op {
+	switch o {
+	case OpSum:
+		return elem.OpSum
+	case OpProd:
+		return elem.OpProd
+	case OpMax:
+		return elem.OpMax
+	case OpMin:
+		return elem.OpMin
+	}
+	panic(fmt.Sprintf("mpi: unknown op %d", int(o)))
+}
+
+// Reduce applies dst[i] = op(dst[i], src[i]) elementwise over count elements
+// of the given datatype. It is the computational kernel of every reduction
+// collective; callers charge device reduce time separately.
+func Reduce(op Op, dt Datatype, dst, src []byte, count int) {
+	if !op.ValidFor(dt) {
+		panic(fmt.Sprintf("mpi: %v is not defined for %v", op, dt))
+	}
+	elem.Reduce(op.elemOp(), dt.Kind(), dst, src, count)
+}

@@ -1,0 +1,307 @@
+package mpi
+
+import (
+	"testing"
+	"time"
+
+	"mpixccl/internal/device"
+	"mpixccl/internal/fabric"
+	"mpixccl/internal/sim"
+	"mpixccl/internal/topology"
+)
+
+// newTestJob builds a ThetaGPU-like job with nranks ranks.
+func newTestJob(t *testing.T, nranks int) *Job {
+	t.Helper()
+	k := sim.NewKernel()
+	nodes := (nranks + 7) / 8
+	sys := topology.ThetaGPU(k, nodes)
+	return NewJobOnSystem(fabric.New(k, sys), MVAPICHProfile(), sys, nranks)
+}
+
+// fillRank writes a rank-specific pattern of float64s.
+func fillRank(buf *device.Buffer, rank, count int) {
+	for i := 0; i < count; i++ {
+		buf.SetFloat64(i, float64(rank*1000+i))
+	}
+}
+
+func TestSendRecvEagerDelivers(t *testing.T) {
+	j := newTestJob(t, 2)
+	const count = 64 // 512 B, well under eager threshold
+	err := j.Run(func(c *Comm) {
+		buf := c.Device().MustMalloc(count * 8)
+		if c.Rank() == 0 {
+			fillRank(buf, 0, count)
+			c.Send(buf, count, Float64, 1, 7)
+		} else {
+			st := c.Recv(buf, count, Float64, 0, 7)
+			if st.Source != 0 || st.Tag != 7 || st.Count != count {
+				t.Errorf("status = %+v", st)
+			}
+			for i := 0; i < count; i++ {
+				if buf.Float64(i) != float64(i) {
+					t.Fatalf("element %d = %v", i, buf.Float64(i))
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendRecvRendezvousDelivers(t *testing.T) {
+	j := newTestJob(t, 2)
+	const count = 1 << 18 // 2 MB, rendezvous
+	err := j.Run(func(c *Comm) {
+		buf := c.Device().MustMalloc(count * 8)
+		if c.Rank() == 0 {
+			fillRank(buf, 0, count)
+			c.Send(buf, count, Float64, 1, 0)
+		} else {
+			c.Recv(buf, count, Float64, 0, 0)
+			for _, i := range []int{0, 1, count / 2, count - 1} {
+				if buf.Float64(i) != float64(i) {
+					t.Fatalf("element %d = %v", i, buf.Float64(i))
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecvBeforeSendAndAfterSend(t *testing.T) {
+	// Exercise both matching orders: posted-then-sent, sent-then-posted.
+	for _, recvFirst := range []bool{true, false} {
+		j := newTestJob(t, 2)
+		err := j.Run(func(c *Comm) {
+			buf := c.Device().MustMalloc(1024)
+			if c.Rank() == 0 {
+				if !recvFirst {
+					c.Proc().Sleep(0)
+				} else {
+					c.Proc().Sleep(100 * time.Microsecond)
+				}
+				buf.FillBytes(0xCD)
+				c.Send(buf, 1024, Byte, 1, 3)
+			} else {
+				if !recvFirst {
+					c.Proc().Sleep(100 * time.Microsecond)
+				}
+				c.Recv(buf, 1024, Byte, 0, 3)
+				if buf.Bytes()[500] != 0xCD {
+					t.Error("payload lost")
+				}
+			}
+		})
+		if err != nil {
+			t.Fatalf("recvFirst=%v: %v", recvFirst, err)
+		}
+	}
+}
+
+func TestTagMatchingSelectsCorrectMessage(t *testing.T) {
+	j := newTestJob(t, 2)
+	err := j.Run(func(c *Comm) {
+		a := c.Device().MustMalloc(8)
+		b := c.Device().MustMalloc(8)
+		if c.Rank() == 0 {
+			a.SetFloat64(0, 1.0)
+			b.SetFloat64(0, 2.0)
+			c.Send(a, 1, Float64, 1, 10)
+			c.Send(b, 1, Float64, 1, 20)
+		} else {
+			// Receive in reverse tag order.
+			c.Recv(a, 1, Float64, 0, 20)
+			c.Recv(b, 1, Float64, 0, 10)
+			if a.Float64(0) != 2.0 || b.Float64(0) != 1.0 {
+				t.Errorf("tag matching delivered %v/%v", a.Float64(0), b.Float64(0))
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnySourceAnyTag(t *testing.T) {
+	j := newTestJob(t, 3)
+	err := j.Run(func(c *Comm) {
+		buf := c.Device().MustMalloc(8)
+		switch c.Rank() {
+		case 0:
+			seen := map[int]bool{}
+			for i := 0; i < 2; i++ {
+				st := c.Recv(buf, 1, Float64, AnySource, AnyTag)
+				seen[st.Source] = true
+				if buf.Float64(0) != float64(st.Source)+0.5 {
+					t.Errorf("payload %v from %d", buf.Float64(0), st.Source)
+				}
+			}
+			if !seen[1] || !seen[2] {
+				t.Errorf("sources seen: %v", seen)
+			}
+		default:
+			buf.SetFloat64(0, float64(c.Rank())+0.5)
+			c.Send(buf, 1, Float64, 0, c.Rank()*11)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMessageOrderingSameTagFIFO(t *testing.T) {
+	j := newTestJob(t, 2)
+	const msgs = 5
+	err := j.Run(func(c *Comm) {
+		buf := c.Device().MustMalloc(8)
+		if c.Rank() == 0 {
+			for i := 0; i < msgs; i++ {
+				buf.SetFloat64(0, float64(i))
+				c.Send(buf, 1, Float64, 1, 1)
+			}
+		} else {
+			for i := 0; i < msgs; i++ {
+				c.Recv(buf, 1, Float64, 0, 1)
+				if buf.Float64(0) != float64(i) {
+					t.Fatalf("message %d out of order: %v", i, buf.Float64(0))
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsendIrecvOverlap(t *testing.T) {
+	j := newTestJob(t, 2)
+	const count = 1 << 16
+	err := j.Run(func(c *Comm) {
+		tx := c.Device().MustMalloc(count * 8)
+		rx := c.Device().MustMalloc(count * 8)
+		fillRank(tx, c.Rank(), count)
+		peer := 1 - c.Rank()
+		rreq := c.Irecv(rx, count, Float64, peer, 0)
+		sreq := c.Isend(tx, count, Float64, peer, 0)
+		st := c.Wait(rreq)
+		c.Wait(sreq)
+		if st.Source != peer {
+			t.Errorf("status source = %d", st.Source)
+		}
+		if rx.Float64(3) != float64(peer*1000+3) {
+			t.Errorf("rank %d got %v", c.Rank(), rx.Float64(3))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendrecvExchange(t *testing.T) {
+	j := newTestJob(t, 2)
+	err := j.Run(func(c *Comm) {
+		tx := c.Device().MustMalloc(64)
+		rx := c.Device().MustMalloc(64)
+		tx.FillBytes(byte(c.Rank() + 1))
+		peer := 1 - c.Rank()
+		c.Sendrecv(tx, 64, Byte, peer, 0, rx, 64, Byte, peer, 0)
+		if rx.Bytes()[10] != byte(peer+1) {
+			t.Errorf("rank %d received %d", c.Rank(), rx.Bytes()[10])
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEagerLatencyBeatsRendezvous(t *testing.T) {
+	// The same payload sent just under vs just over the eager threshold:
+	// the rendezvous handshake must add latency.
+	measure := func(count int) time.Duration {
+		j := newTestJob(t, 2)
+		var elapsed time.Duration
+		err := j.Run(func(c *Comm) {
+			buf := c.Device().MustMalloc(int64(count))
+			if c.Rank() == 0 {
+				start := c.Proc().Now()
+				c.Send(buf, count, Byte, 1, 0)
+				elapsed = c.Proc().Now() - start
+			} else {
+				c.Recv(buf, count, Byte, 0, 0)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return elapsed
+	}
+	eager := measure(16 << 10)
+	rndv := measure((16 << 10) + 1)
+	if rndv <= eager {
+		t.Fatalf("rendezvous (%v) not slower than eager (%v)", rndv, eager)
+	}
+}
+
+func TestInterNodeSlowerThanIntraNode(t *testing.T) {
+	j := newTestJob(t, 16) // 2 nodes
+	var intra, inter time.Duration
+	err := j.Run(func(c *Comm) {
+		const count = 1 << 20
+		buf := c.Device().MustMalloc(count)
+		switch c.Rank() {
+		case 0:
+			start := c.Proc().Now()
+			c.Send(buf, count, Byte, 1, 0) // same node
+			intra = c.Proc().Now() - start
+			start = c.Proc().Now()
+			c.Send(buf, count, Byte, 8, 0) // next node
+			inter = c.Proc().Now() - start
+		case 1:
+			c.Recv(buf, count, Byte, 0, 0)
+		case 8:
+			c.Recv(buf, count, Byte, 0, 0)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inter <= intra {
+		t.Fatalf("inter-node %v not slower than intra-node %v", inter, intra)
+	}
+}
+
+func TestSendToInvalidRankPanics(t *testing.T) {
+	j := newTestJob(t, 2)
+	err := j.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			defer func() {
+				if recover() == nil {
+					t.Error("send to rank 5 did not panic")
+				}
+			}()
+			buf := c.Device().MustMalloc(8)
+			c.Send(buf, 1, Float64, 5, 0)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeadlockDetectedOnMissingSend(t *testing.T) {
+	j := newTestJob(t, 2)
+	err := j.Run(func(c *Comm) {
+		if c.Rank() == 1 {
+			buf := c.Device().MustMalloc(8)
+			c.Recv(buf, 1, Float64, 0, 0) // never sent
+		}
+	})
+	if _, ok := err.(*sim.DeadlockError); !ok {
+		t.Fatalf("err = %v, want DeadlockError", err)
+	}
+}

@@ -1,0 +1,248 @@
+package mpi
+
+import "testing"
+
+func TestPackUnpackVectorRoundTrip(t *testing.T) {
+	j := newTestJob(t, 1)
+	err := j.Run(func(c *Comm) {
+		// A 4x8 float64 matrix; pack column 0..2 (blockLen 3, stride 8).
+		v := Vector{Dt: Float64, Count: 4, BlockLen: 3, Stride: 8}
+		src := c.Device().MustMalloc(v.SpanBytes())
+		for i := 0; i < 4*8; i++ {
+			if int64(i*8) < src.Len() {
+				src.SetFloat64(i, float64(i))
+			}
+		}
+		packed := c.Device().MustMalloc(v.Bytes())
+		if err := c.PackVector(v, src, packed); err != nil {
+			t.Fatal(err)
+		}
+		// Packed layout: rows' first 3 elements back to back.
+		want := []float64{0, 1, 2, 8, 9, 10, 16, 17, 18, 24, 25, 26}
+		for i, w := range want {
+			if packed.Float64(i) != w {
+				t.Fatalf("packed[%d] = %v, want %v", i, packed.Float64(i), w)
+			}
+		}
+		out := c.Device().MustMalloc(v.SpanBytes())
+		if err := c.UnpackVector(v, packed, out); err != nil {
+			t.Fatal(err)
+		}
+		for b := 0; b < 4; b++ {
+			for e := 0; e < 3; e++ {
+				idx := b*8 + e
+				if out.Float64(idx) != float64(idx) {
+					t.Fatalf("unpacked[%d] = %v, want %v", idx, out.Float64(idx), idx)
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVectorValidation(t *testing.T) {
+	j := newTestJob(t, 1)
+	err := j.Run(func(c *Comm) {
+		bad := Vector{Dt: Float64, Count: 2, BlockLen: 4, Stride: 2} // stride < blockLen
+		buf := c.Device().MustMalloc(1024)
+		if err := c.PackVector(bad, buf, buf); err == nil {
+			t.Error("invalid vector accepted")
+		}
+		small := Vector{Dt: Float64, Count: 100, BlockLen: 4, Stride: 8}
+		if err := c.PackVector(small, buf, buf); err == nil {
+			t.Error("undersized buffers accepted")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendRecvVector(t *testing.T) {
+	j := newTestJob(t, 2)
+	v := Vector{Dt: Float64, Count: 8, BlockLen: 2, Stride: 4}
+	err := j.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			src := c.Device().MustMalloc(v.SpanBytes())
+			for i := 0; i < int(v.SpanBytes()/8); i++ {
+				src.SetFloat64(i, float64(i))
+			}
+			if err := c.SendVector(v, src, 1, 5); err != nil {
+				t.Error(err)
+			}
+		} else {
+			dst := c.Device().MustMalloc(v.SpanBytes())
+			st, err := c.RecvVector(v, dst, 0, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Source != 0 || st.Count != v.Elems() {
+				t.Errorf("status = %+v", st)
+			}
+			// Strided positions carry the original values; gaps remain zero.
+			if dst.Float64(0) != 0 || dst.Float64(1) != 1 || dst.Float64(4) != 4 || dst.Float64(5) != 5 {
+				t.Errorf("strided payload wrong: %v %v %v %v",
+					dst.Float64(0), dst.Float64(1), dst.Float64(4), dst.Float64(5))
+			}
+			if dst.Float64(2) != 0 || dst.Float64(3) != 0 {
+				t.Errorf("gap elements written: %v %v", dst.Float64(2), dst.Float64(3))
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendrecvReplace(t *testing.T) {
+	j := newTestJob(t, 2)
+	err := j.Run(func(c *Comm) {
+		buf := c.Device().MustMalloc(64)
+		buf.FillFloat64(float64(c.Rank() + 1))
+		peer := 1 - c.Rank()
+		c.SendrecvReplace(buf, 8, Float64, peer, 0, peer, 0)
+		if buf.Float64(3) != float64(peer+1) {
+			t.Errorf("rank %d buffer = %v, want %v", c.Rank(), buf.Float64(3), peer+1)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTestAndWaitany(t *testing.T) {
+	j := newTestJob(t, 2)
+	err := j.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			fast := c.Device().MustMalloc(64)
+			slow := c.Device().MustMalloc(1 << 20)
+			fast.FillFloat64(1)
+			slow.FillFloat64(2)
+			r1 := c.Isend(slow, 1<<17, Float64, 1, 1) // rendezvous: completes late
+			r2 := c.Isend(fast, 8, Float64, 1, 2)     // eager: completes fast
+			idx, _ := c.Waitany([]*Request{r1, r2})
+			if idx != 1 {
+				t.Errorf("waitany picked %d, want the eager send (1)", idx)
+			}
+			c.Waitall([]*Request{r1, r2})
+			if !c.Testall([]*Request{r1, r2}) {
+				t.Error("testall false after waitall")
+			}
+		} else {
+			buf := c.Device().MustMalloc(1 << 20)
+			c.Proc().Sleep(1000) // let the sends race
+			c.Recv(buf, 8, Float64, 0, 2)
+			c.Recv(buf, 1<<17, Float64, 0, 1)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTestNonblocking(t *testing.T) {
+	j := newTestJob(t, 2)
+	err := j.Run(func(c *Comm) {
+		buf := c.Device().MustMalloc(1 << 20)
+		if c.Rank() == 0 {
+			req := c.Isend(buf, 1<<17, Float64, 1, 0)
+			if ok, _ := c.Test(req); ok {
+				t.Error("rendezvous send completed instantly")
+			}
+			c.Wait(req)
+			if ok, _ := c.Test(req); !ok {
+				t.Error("Test false after Wait")
+			}
+		} else {
+			c.Proc().Sleep(1000)
+			c.Recv(buf, 1<<17, Float64, 0, 0)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPersistentRequests(t *testing.T) {
+	j := newTestJob(t, 2)
+	err := j.Run(func(c *Comm) {
+		buf := c.Device().MustMalloc(64)
+		if c.Rank() == 0 {
+			pr := c.SendInit(buf, 8, Float64, 1, 3)
+			for round := 0; round < 3; round++ {
+				buf.FillFloat64(float64(round))
+				pr.Start()
+				pr.Wait()
+			}
+		} else {
+			pr := c.RecvInit(buf, 8, Float64, 0, 3)
+			for round := 0; round < 3; round++ {
+				pr.Start()
+				st := pr.Wait()
+				if st.Source != 0 || buf.Float64(2) != float64(round) {
+					t.Errorf("round %d: status %+v payload %v", round, st, buf.Float64(2))
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPersistentDoubleStartPanics(t *testing.T) {
+	j := newTestJob(t, 2)
+	err := j.Run(func(c *Comm) {
+		if c.Rank() == 1 {
+			buf := c.Device().MustMalloc(64)
+			c.Recv(buf, 8, Float64, 0, 0)
+			return
+		}
+		buf := c.Device().MustMalloc(64)
+		pr := c.SendInit(buf, 8, Float64, 1, 0)
+		pr.Start()
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("double Start did not panic")
+				}
+			}()
+			pr.Start()
+		}()
+		pr.Wait()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The collective matrix across every CCL-mappable datatype: allreduce
+// sums must be exact for integer-valued payloads in every type.
+func TestAllreduceDatatypeMatrix(t *testing.T) {
+	for _, dt := range []Datatype{Byte, Int32, Int64, Float16, Float32, Float64} {
+		const n = 4
+		j := newTestJob(t, n)
+		err := j.Run(func(c *Comm) {
+			count := 32
+			esz := int64(dt.Size())
+			send := c.Device().MustMalloc(int64(count) * esz)
+			recv := c.Device().MustMalloc(int64(count) * esz)
+			for i := 0; i < count; i++ {
+				setElement(dt, send.Bytes(), i, float64(c.Rank()%2+1), 0)
+			}
+			c.Allreduce(send, recv, count, dt, OpSum)
+			want := 6.0 // 1+2+1+2
+			for i := 0; i < count; i += 7 {
+				re, _ := element(dt, recv.Bytes(), i)
+				if re != want {
+					t.Errorf("%v elem %d = %v, want %v", dt, i, re, want)
+				}
+			}
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", dt, err)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package omb
+
+import (
+	"fmt"
+
+	"mpixccl/internal/core"
+)
+
+// Tune performs the offline tuning of §3.4: for every operation it measures
+// the MPI path and the CCL path across the size sweep on the given system
+// shape and records which wins per size band, producing the tuning table
+// the hybrid runtime consults.
+func Tune(cfg Config, ops []Collective) (*core.TuningTable, error) {
+	cfg.fillDefaults()
+	if len(ops) == 0 {
+		ops = []Collective{Allreduce, Reduce, Bcast, Alltoall, Allgather}
+	}
+	table := &core.TuningTable{System: cfg.System, Backend: string(cfg.Backend)}
+	for _, op := range ops {
+		mpiCfg := cfg
+		mpiCfg.Stack = StackMPI
+		mpiRes, err := RunCollective(mpiCfg, op)
+		if err != nil {
+			return nil, fmt.Errorf("tune %s (mpi): %w", op, err)
+		}
+		cclCfg := cfg
+		cclCfg.Stack = StackPureXCCL
+		cclRes, err := RunCollective(cclCfg, op)
+		if err != nil {
+			return nil, fmt.Errorf("tune %s (ccl): %w", op, err)
+		}
+		var rule []core.Threshold
+		var lastPath core.Path = -1
+		for i := range mpiRes {
+			path := core.PathMPI
+			if i < len(cclRes) && cclRes[i].Latency < mpiRes[i].Latency {
+				path = core.PathCCL
+			}
+			if path == lastPath {
+				// Extend the current band.
+				rule[len(rule)-1].MaxBytes = mpiRes[i].Bytes
+				continue
+			}
+			rule = append(rule, core.Threshold{MaxBytes: mpiRes[i].Bytes, Path: path})
+			lastPath = path
+		}
+		if len(rule) > 0 {
+			rule[len(rule)-1].MaxBytes = 0 // open-ended final band
+		}
+		table.Set(tuneOpKind(op), rule)
+	}
+	return table, nil
+}
+
+func tuneOpKind(op Collective) core.OpKind {
+	switch op {
+	case Allreduce:
+		return core.OpAllreduce
+	case Reduce:
+		return core.OpReduce
+	case Bcast:
+		return core.OpBcast
+	case Alltoall:
+		return core.OpAlltoall
+	case Allgather:
+		return core.OpAllgather
+	}
+	return core.OpKind(op)
+}

@@ -1,0 +1,101 @@
+package sim
+
+// Chan is a virtual-time channel with Go-channel semantics: unbuffered
+// channels rendezvous (the sender blocks until a receiver takes the value),
+// buffered channels block the sender only when full. FIFO ordering holds for
+// both values and blocked processes.
+type Chan[T any] struct {
+	k     *Kernel
+	cap   int
+	buf   []T
+	sendq []*chanSend[T]
+	recvq []*chanRecv[T]
+}
+
+type chanSend[T any] struct {
+	p   *Proc
+	val T
+}
+
+type chanRecv[T any] struct {
+	p     *Proc
+	val   T
+	ready bool
+}
+
+// NewChan returns a channel with the given buffer capacity (0 = rendezvous).
+func NewChan[T any](k *Kernel, capacity int) *Chan[T] {
+	return &Chan[T]{k: k, cap: capacity}
+}
+
+// Len reports the number of buffered values.
+func (c *Chan[T]) Len() int { return len(c.buf) }
+
+// Send delivers v on the channel, blocking p until a receiver or buffer slot
+// is available.
+func (c *Chan[T]) Send(p *Proc, v T) {
+	if len(c.recvq) > 0 {
+		r := c.recvq[0]
+		c.recvq = c.recvq[1:]
+		r.val, r.ready = v, true
+		r.p.unpark()
+		return
+	}
+	if len(c.buf) < c.cap {
+		c.buf = append(c.buf, v)
+		return
+	}
+	w := &chanSend[T]{p: p, val: v}
+	c.sendq = append(c.sendq, w)
+	p.park("chan send")
+}
+
+// TrySend delivers v without blocking; it reports whether the value was
+// accepted (a waiting receiver or free buffer slot existed).
+func (c *Chan[T]) TrySend(v T) bool {
+	if len(c.recvq) > 0 {
+		r := c.recvq[0]
+		c.recvq = c.recvq[1:]
+		r.val, r.ready = v, true
+		r.p.unpark()
+		return true
+	}
+	if len(c.buf) < c.cap {
+		c.buf = append(c.buf, v)
+		return true
+	}
+	return false
+}
+
+// Recv takes the next value, blocking p until one is available.
+func (c *Chan[T]) Recv(p *Proc) T {
+	if v, ok := c.TryRecv(); ok {
+		return v
+	}
+	w := &chanRecv[T]{p: p}
+	c.recvq = append(c.recvq, w)
+	p.park("chan recv")
+	return w.val
+}
+
+// TryRecv takes the next value without blocking; ok reports success.
+func (c *Chan[T]) TryRecv() (v T, ok bool) {
+	if len(c.buf) > 0 {
+		v = c.buf[0]
+		c.buf = c.buf[1:]
+		if len(c.sendq) > 0 {
+			s := c.sendq[0]
+			c.sendq = c.sendq[1:]
+			c.buf = append(c.buf, s.val)
+			s.p.unpark()
+		}
+		return v, true
+	}
+	if len(c.sendq) > 0 {
+		s := c.sendq[0]
+		c.sendq = c.sendq[1:]
+		s.p.unpark()
+		return s.val, true
+	}
+	return v, false
+}

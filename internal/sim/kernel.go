@@ -1,0 +1,210 @@
+// Package sim implements a deterministic discrete-event simulation kernel.
+//
+// The kernel owns a virtual clock and an event queue. Simulated activities
+// are "processes": ordinary Go functions running on their own goroutines,
+// but scheduled cooperatively so that exactly one process (or the kernel
+// loop itself) executes at any moment. A process advances virtual time by
+// sleeping, or blocks on synchronization primitives (Event, Chan, Resource,
+// Barrier) until another process wakes it. Because hand-off between the
+// kernel and processes is strictly sequential and the event queue breaks
+// ties by insertion order, a simulation is fully deterministic: the same
+// program produces the same virtual-time trace on every run.
+//
+// This kernel is the substrate for the simulated cluster: every MPI rank,
+// device stream, and fabric transfer in this repository is a sim process.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Time is an instant on the virtual clock, expressed as an offset from the
+// simulation epoch (time zero). Durations use the standard library's
+// time.Duration; one tick is one virtual nanosecond.
+type Time = time.Duration
+
+// event is a scheduled callback. seq orders events with equal fire times so
+// the queue pops them in schedule order, keeping runs deterministic.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}
+
+// Kernel is a discrete-event simulator instance. The zero value is not
+// usable; create one with NewKernel.
+type Kernel struct {
+	now     Time
+	queue   eventHeap
+	seq     uint64
+	yield   chan struct{}
+	current *Proc
+	procs   map[int]*Proc
+	nextPID int
+	alive   int
+	running bool
+	stopped bool
+}
+
+// NewKernel returns a kernel with an empty event queue and the clock at zero.
+func NewKernel() *Kernel {
+	return &Kernel{
+		yield: make(chan struct{}),
+		procs: make(map[int]*Proc),
+	}
+}
+
+// Now reports the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// schedule enqueues fn to run at virtual time at. It may be called from the
+// kernel loop or from the currently executing process; both are serialized.
+func (k *Kernel) schedule(at Time, fn func()) *event {
+	if at < k.now {
+		at = k.now
+	}
+	ev := &event{at: at, seq: k.seq, fn: fn}
+	k.seq++
+	heap.Push(&k.queue, ev)
+	return ev
+}
+
+// After schedules fn to run after delay d of virtual time. It is the
+// non-blocking timer primitive; processes that want to block should use
+// Proc.Sleep instead.
+func (k *Kernel) After(d time.Duration, fn func()) {
+	k.schedule(k.now+d, fn)
+}
+
+// Spawn creates a new process running fn and schedules its first activation
+// at the current virtual time. It may be called before Run or from inside a
+// running process.
+func (k *Kernel) Spawn(name string, fn func(*Proc)) *Proc {
+	p := &Proc{
+		k:      k,
+		id:     k.nextPID,
+		name:   name,
+		resume: make(chan struct{}),
+		done:   NewEvent(k),
+	}
+	k.nextPID++
+	k.procs[p.id] = p
+	k.alive++
+	go func() {
+		<-p.resume
+		fn(p)
+		p.dead = true
+		if !p.daemon {
+			k.alive--
+		}
+		delete(k.procs, p.id)
+		p.done.Fire()
+		k.yield <- struct{}{}
+	}()
+	k.schedule(k.now, func() { k.activate(p) })
+	return p
+}
+
+// SpawnDaemon creates a background service process. Daemons do not keep the
+// simulation alive and are not reported as deadlocked: a run in which only
+// daemons remain blocked (e.g. device streams waiting for work) terminates
+// normally. Use daemons for server loops, streams, and progress engines.
+func (k *Kernel) SpawnDaemon(name string, fn func(*Proc)) *Proc {
+	p := k.Spawn(name, fn)
+	p.daemon = true
+	k.alive--
+	return p
+}
+
+// activate hands control to p and waits until p parks or exits. It must run
+// from the kernel loop.
+func (k *Kernel) activate(p *Proc) {
+	if p.dead {
+		return
+	}
+	prev := k.current
+	k.current = p
+	p.resume <- struct{}{}
+	<-k.yield
+	k.current = prev
+}
+
+// Stop aborts the simulation: Run returns after the current event completes.
+// Outstanding processes are left parked; Run does not report them as a
+// deadlock when stopped deliberately.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// DeadlockError reports that the event queue drained while processes were
+// still blocked — the virtual-time analogue of a hung program.
+type DeadlockError struct {
+	Now     Time
+	Blocked []string
+}
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock at t=%v; blocked: %s", e.Now, strings.Join(e.Blocked, ", "))
+}
+
+// Run executes events until the queue drains or Stop is called. It returns a
+// *DeadlockError if processes remain blocked with no pending events.
+func (k *Kernel) Run() error {
+	if k.running {
+		return fmt.Errorf("sim: kernel already running")
+	}
+	k.running = true
+	defer func() { k.running = false }()
+	for k.queue.Len() > 0 && !k.stopped {
+		ev := heap.Pop(&k.queue).(*event)
+		if ev.fn == nil {
+			continue // cancelled
+		}
+		k.now = ev.at
+		ev.fn()
+	}
+	if k.stopped {
+		return nil
+	}
+	if k.alive > 0 {
+		var blocked []string
+		for _, p := range k.procs {
+			if p.daemon {
+				continue
+			}
+			blocked = append(blocked, fmt.Sprintf("%s(%s)", p.name, p.blocked))
+		}
+		sort.Strings(blocked)
+		return &DeadlockError{Now: k.now, Blocked: blocked}
+	}
+	return nil
+}
+
+// RunFor executes events until virtual time advances past the given horizon,
+// then stops. Events at exactly now+d still run.
+func (k *Kernel) RunFor(d time.Duration) error {
+	k.schedule(k.now+d, func() { k.Stop() })
+	return k.Run()
+}

@@ -1,0 +1,67 @@
+package sim
+
+import "time"
+
+// Proc is a simulated process: a goroutine scheduled cooperatively by the
+// kernel. All Proc methods must be called from the process's own function
+// (the fn passed to Kernel.Spawn); they are not safe to call from outside
+// the simulation.
+type Proc struct {
+	k       *Kernel
+	id      int
+	name    string
+	resume  chan struct{}
+	done    *Event
+	dead    bool
+	daemon  bool
+	blocked string
+}
+
+// Kernel returns the kernel this process runs on.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// ID returns the process id, unique within its kernel.
+func (p *Proc) ID() int { return p.id }
+
+// Name returns the name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Done returns an event fired when the process function returns.
+func (p *Proc) Done() *Event { return p.done }
+
+// Now reports the current virtual time.
+func (p *Proc) Now() Time { return p.k.now }
+
+// park blocks the process until another event resumes it. reason is shown in
+// deadlock reports.
+func (p *Proc) park(reason string) {
+	p.blocked = reason
+	p.k.yield <- struct{}{}
+	<-p.resume
+	p.blocked = ""
+}
+
+// unpark schedules the process to resume at the current virtual time.
+func (p *Proc) unpark() {
+	k := p.k
+	k.schedule(k.now, func() { k.activate(p) })
+}
+
+// Sleep blocks the process for d of virtual time. Non-positive durations
+// yield the processor (the process resumes at the same virtual instant,
+// after already-queued events).
+func (p *Proc) Sleep(d time.Duration) {
+	k := p.k
+	if d < 0 {
+		d = 0
+	}
+	k.schedule(k.now+d, func() { k.activate(p) })
+	p.park("sleep")
+}
+
+// Yield lets other events scheduled for the current instant run first.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// Join blocks until q's function has returned. Joining an already-finished
+// process returns immediately.
+func (p *Proc) Join(q *Proc) { q.done.Wait(p) }

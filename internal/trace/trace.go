@@ -1,0 +1,126 @@
+// Package trace records per-operation timelines of communication calls:
+// which collective ran, on which path (MPI or CCL), how many bytes, and how
+// long it took in virtual time. It provides the profiling visibility that
+// MSCCL exposes for custom algorithms and that the paper's evaluation
+// methodology relies on, as a library usable by any layer.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Record is one completed operation.
+type Record struct {
+	// Op names the operation, e.g. "allreduce".
+	Op string
+	// Path names the executor, e.g. "ccl", "mpi".
+	Path string
+	// Backend names the library, e.g. "nccl-2.18.3".
+	Backend string
+	// Rank is the calling rank.
+	Rank int
+	// Bytes is the payload size.
+	Bytes int64
+	// Start is the virtual start time; Duration the elapsed virtual time.
+	Start    time.Duration
+	Duration time.Duration
+}
+
+// Recorder accumulates records. The zero value is ready to use; a nil
+// *Recorder ignores all records, so callers can thread it unconditionally.
+type Recorder struct {
+	records []Record
+}
+
+// New returns an empty recorder.
+func New() *Recorder { return &Recorder{} }
+
+// Add appends a record. Safe on nil.
+func (r *Recorder) Add(rec Record) {
+	if r == nil {
+		return
+	}
+	r.records = append(r.records, rec)
+}
+
+// Len reports the record count. Safe on nil.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.records)
+}
+
+// Records returns the accumulated records in insertion order.
+func (r *Recorder) Records() []Record {
+	if r == nil {
+		return nil
+	}
+	return r.records
+}
+
+// Reset clears the recorder.
+func (r *Recorder) Reset() {
+	if r != nil {
+		r.records = r.records[:0]
+	}
+}
+
+// Summary aggregates per (op, path) statistics.
+type Summary struct {
+	Op, Path string
+	Count    int
+	Bytes    int64
+	Total    time.Duration
+}
+
+// Summarize groups records by (op, path), sorted by total time descending.
+func (r *Recorder) Summarize() []Summary {
+	if r == nil {
+		return nil
+	}
+	agg := map[[2]string]*Summary{}
+	for _, rec := range r.records {
+		key := [2]string{rec.Op, rec.Path}
+		s, ok := agg[key]
+		if !ok {
+			s = &Summary{Op: rec.Op, Path: rec.Path}
+			agg[key] = s
+		}
+		s.Count++
+		s.Bytes += rec.Bytes
+		s.Total += rec.Duration
+	}
+	out := make([]Summary, 0, len(agg))
+	for _, s := range agg {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Total != out[j].Total {
+			return out[i].Total > out[j].Total
+		}
+		if out[i].Op != out[j].Op {
+			return out[i].Op < out[j].Op
+		}
+		return out[i].Path < out[j].Path
+	})
+	return out
+}
+
+// Dump writes a human-readable timeline to w (rank-0 records only, to keep
+// SPMD output readable).
+func (r *Recorder) Dump(w io.Writer) {
+	if r == nil {
+		return
+	}
+	for _, rec := range r.records {
+		if rec.Rank != 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%12v  %-14s %-4s %-14s %10d B  %v\n",
+			rec.Start, rec.Op, rec.Path, rec.Backend, rec.Bytes, rec.Duration)
+	}
+}
