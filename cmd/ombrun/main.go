@@ -14,6 +14,7 @@ import (
 	"os"
 
 	"mpixccl/internal/core"
+	"mpixccl/internal/metrics"
 	"mpixccl/internal/omb"
 )
 
@@ -30,12 +31,18 @@ func main() {
 	max := flag.Int64("max", 4<<20, "max message bytes")
 	iters := flag.Int("iters", 2, "timed iterations per size")
 	full := flag.Bool("f", false, "full results: min/avg/max across ranks (collectives)")
+	metricsFile := flag.String("metrics", "",
+		"write runtime metrics to this file in Prometheus text format ('-' for stdout)")
 	flag.Parse()
 
+	var reg *metrics.Registry
+	if *metricsFile != "" {
+		reg = metrics.NewRegistry()
+	}
 	cfg := omb.Config{
 		System: *system, Nodes: *nodes, Ranks: *ranks,
 		Stack: omb.Stack(*stack), Backend: core.BackendKind(*backend),
-		MinBytes: *min, MaxBytes: *max, Iterations: *iters,
+		MinBytes: *min, MaxBytes: *max, Iterations: *iters, Metrics: reg,
 	}
 	switch *bench {
 	case "latency", "bw", "bibw":
@@ -61,15 +68,35 @@ func main() {
 				fmt.Printf("%-12d %-14.2f %-14.2f %-14.2f\n", r.Bytes, us(r),
 					float64(r.MinLatency.Nanoseconds())/1e3, float64(r.MaxLatency.Nanoseconds())/1e3)
 			}
-			return
-		}
-		fmt.Printf("%-12s %-14s\n", "Size", "Avg Latency(us)")
-		for _, r := range res {
-			fmt.Printf("%-12d %-14.2f\n", r.Bytes, us(r))
+		} else {
+			fmt.Printf("%-12s %-14s\n", "Size", "Avg Latency(us)")
+			for _, r := range res {
+				fmt.Printf("%-12d %-14.2f\n", r.Bytes, us(r))
+			}
 		}
 	default:
 		fatal(fmt.Errorf("unknown bench %q", *bench))
 	}
+	if reg != nil {
+		if err := writeMetrics(reg, *metricsFile); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func writeMetrics(reg *metrics.Registry, path string) error {
+	if path == "-" {
+		return reg.WritePrometheus(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WritePrometheus(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func us(r omb.Result) float64 { return float64(r.Latency.Nanoseconds()) / 1e3 }

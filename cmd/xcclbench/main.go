@@ -9,6 +9,11 @@
 //
 // Experiment ids follow the paper: table1, fig1a, fig1b, fig3, fig4, fig5,
 // fig6, fig7, fig8, fig9, fig10.
+//
+// With -metrics <file>, runtime counters and latency histograms gathered
+// across every experiment run (dispatch paths, fallbacks, tuning-table
+// hits, CCL launches, MPI protocol choices) are written to <file> in
+// Prometheus text format; "-" writes to stdout.
 package main
 
 import (
@@ -18,12 +23,15 @@ import (
 	"time"
 
 	"mpixccl/internal/experiments"
+	"mpixccl/internal/metrics"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiment id (or 'all')")
 	scaleFlag := flag.String("scale", "quick", "quick or full (paper-size node counts and sweeps)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	metricsFile := flag.String("metrics", "",
+		"write accumulated runtime metrics to this file in Prometheus text format ('-' for stdout)")
 	flag.Parse()
 
 	if *list {
@@ -41,13 +49,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "xcclbench: unknown scale %q (want quick or full)\n", *scaleFlag)
 		os.Exit(2)
 	}
+	var reg *metrics.Registry
+	if *metricsFile != "" {
+		reg = metrics.NewRegistry()
+	}
 	ids := []string{*exp}
 	if *exp == "all" {
 		ids = experiments.IDs()
 	}
 	for _, id := range ids {
 		start := time.Now()
-		out, err := experiments.Run(id, scale)
+		out, err := experiments.RunWith(id, scale, reg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "xcclbench: %s: %v\n", id, err)
 			os.Exit(1)
@@ -55,4 +67,25 @@ func main() {
 		fmt.Print(out)
 		fmt.Printf("(%s regenerated in %v wall time)\n\n", id, time.Since(start).Round(time.Millisecond))
 	}
+	if reg != nil {
+		if err := writeMetrics(reg, *metricsFile); err != nil {
+			fmt.Fprintf(os.Stderr, "xcclbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func writeMetrics(reg *metrics.Registry, path string) error {
+	if path == "-" {
+		return reg.WritePrometheus(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WritePrometheus(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

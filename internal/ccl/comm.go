@@ -6,6 +6,7 @@ import (
 
 	"mpixccl/internal/device"
 	"mpixccl/internal/fabric"
+	"mpixccl/internal/metrics"
 	"mpixccl/internal/sim"
 )
 
@@ -20,6 +21,44 @@ type core struct {
 	p2pPost map[[2]int]*sim.Chan[*p2pSlot] // receiver-posted buffers per (src,dst)
 	algos   []*Algo                        // registered custom schedules
 	split   *splitState                    // in-flight CommSplit rendezvous
+	reg     *metrics.Registry              // nil = no instrumentation
+}
+
+// SetMetrics wires a registry into the communicator (shared by every rank
+// handle): kernel-launch counts, group-call fusion sizes, and fabric
+// transfer volume, labeled by backend. A nil registry disables
+// instrumentation. Call before issuing operations.
+func (c *Comm) SetMetrics(reg *metrics.Registry) {
+	c.core.reg = reg
+	reg.Gauge("ccl_channels",
+		"Fabric channels the backend drives per transfer (its configured budget).",
+		metrics.Labels{"backend": c.core.cfg.Name}).Set(float64(c.core.cfg.Channels))
+}
+
+// countLaunch records one stream-task launch: kind is "collective", "p2p",
+// or "group" (a fused group pays one launch for all its operations — the
+// advantage the fusion counter quantifies).
+func (co *core) countLaunch(kind string) {
+	co.reg.Counter("ccl_launches_total",
+		"Stream-task launches by kind (collective, p2p, group).",
+		metrics.Labels{"backend": co.cfg.Name, "kind": kind}).Inc()
+}
+
+// countGroup records one GroupEnd: n fused sends+recvs under one launch.
+func (co *core) countGroup(n int) {
+	lbl := metrics.Labels{"backend": co.cfg.Name}
+	co.reg.Counter("ccl_group_calls_total",
+		"GroupStart/GroupEnd fused submissions.", lbl).Inc()
+	co.reg.Counter("ccl_group_fused_ops_total",
+		"Send/Recv operations fused into group submissions.", lbl).Add(float64(n))
+}
+
+// countXfer records payload bytes moved over the fabric on this
+// communicator's behalf (scratch-pipeline hops included).
+func (co *core) countXfer(bytes int64) {
+	co.reg.Counter("ccl_transfer_bytes_total",
+		"Payload bytes moved over the fabric, per backend.",
+		metrics.Labels{"backend": co.cfg.Name}).Add(float64(bytes))
 }
 
 // Comm is one rank's handle on a CCL communicator (ncclComm_t analogue).
@@ -184,6 +223,7 @@ func (rc *runCtx) opts() fabric.Opts {
 // xfer moves bytes between devices applying the backend's inter-node
 // penalty on cross-node hops.
 func (rc *runCtx) xfer(dst, src *device.Buffer, n int64) {
+	rc.co.countXfer(n)
 	d := rc.co.fab.Transfer(rc.p, dst, src, n, rc.opts())
 	pen := rc.co.cfg.InterNodePenalty
 	if pen > 1 && src.Device() != nil && dst.Device() != nil && src.Device().Node != dst.Device().Node {
@@ -283,5 +323,6 @@ func (c *Comm) validate(send, recv *device.Buffer, count int, dt Datatype, op *R
 // launch charges the backend's fixed operation overhead plus any
 // size-triggered step overhead.
 func (rc *runCtx) launch(bytes int64) {
+	rc.co.countLaunch("collective")
 	rc.p.Sleep(rc.co.cfg.Launch + rc.co.cfg.stepExtra(bytes))
 }

@@ -46,6 +46,7 @@ func (co *core) runSend(p *sim.Proc, rank int, op p2pOp) {
 	if slot.bytes < op.bytes {
 		panic(fmt.Sprintf("ccl: send of %d bytes into %d-byte posted recv", op.bytes, slot.bytes))
 	}
+	co.countXfer(op.bytes)
 	d := co.fab.Transfer(p, slot.buf.Slice(0, op.bytes), op.buf.Slice(0, op.bytes), op.bytes,
 		fabricOpts(co.cfg))
 	_ = d
@@ -68,6 +69,7 @@ func (c *Comm) Send(buf *device.Buffer, count int, dt Datatype, peer int, s *dev
 	co := c.core
 	rank := c.rank
 	s.Enqueue(fmt.Sprintf("%s/send/r%d", co.cfg.Name, rank), func(p *sim.Proc) {
+		co.countLaunch("p2p")
 		p.Sleep(co.cfg.Launch)
 		co.runSend(p, rank, op)
 	})
@@ -89,6 +91,7 @@ func (c *Comm) Recv(buf *device.Buffer, count int, dt Datatype, peer int, s *dev
 	co := c.core
 	rank := c.rank
 	s.Enqueue(fmt.Sprintf("%s/recv/r%d", co.cfg.Name, rank), func(p *sim.Proc) {
+		co.countLaunch("p2p")
 		p.Sleep(co.cfg.Launch)
 		slot := &p2pSlot{buf: op.buf, bytes: op.bytes, done: sim.NewEvent(p.Kernel())}
 		co.p2pChan(op.peer, rank).Send(p, slot)
@@ -128,6 +131,8 @@ func (c *Comm) GroupEnd() error {
 	g.stream.Enqueue(fmt.Sprintf("%s/group/r%d", co.cfg.Name, rank), func(p *sim.Proc) {
 		// One launch for the whole fused group: this is why group calls
 		// beat per-message launches.
+		co.countLaunch("group")
+		co.countGroup(len(g.sends) + len(g.recvs))
 		p.Sleep(co.cfg.Launch)
 		k := p.Kernel()
 		// Post every receive first (non-blocking), so no send can wait

@@ -5,6 +5,7 @@ import (
 
 	"mpixccl/internal/ccl"
 	"mpixccl/internal/device"
+	"mpixccl/internal/metrics"
 	"mpixccl/internal/mpi"
 	"mpixccl/internal/sim"
 	"mpixccl/internal/trace"
@@ -15,7 +16,8 @@ import (
 // transparently picks the MPI or CCL path per the dispatch decision.
 
 // run executes one collective through the decided path, handling the
-// CCL-error fallback (§1.2 advantage 3), statistics, and trace records.
+// CCL-error fallback (§1.2 advantage 3), statistics, trace records, and
+// metric aggregation.
 func (x *Comm) run(op OpKind, bytes int64, d decision,
 	cclPath func(cc *ccl.Comm, s *device.Stream) error, mpiPath func()) {
 	start := x.mpi.Proc().Now()
@@ -24,6 +26,7 @@ func (x *Comm) run(op OpKind, bytes int64, d decision,
 		if err := x.runCCL(cclPath); err != nil {
 			x.rt.stats.Fallbacks.Error++
 			x.rt.stats.MPIOps++
+			x.rt.countFallback(op, "ccl_error")
 			mpiPath()
 		} else {
 			path = PathCCL
@@ -33,11 +36,13 @@ func (x *Comm) run(op OpKind, bytes int64, d decision,
 		x.rt.stats.MPIOps++
 		mpiPath()
 	}
-	x.rt.opts.Trace.Add(trace.Record{
+	rec := trace.Record{
 		Op: string(op), Path: path.String(), Backend: string(x.rt.kind),
 		Rank: x.Rank(), Bytes: bytes,
 		Start: start, Duration: x.mpi.Proc().Now() - start,
-	})
+	}
+	x.rt.opts.Trace.Add(rec)
+	trace.RecordMetrics(x.rt.opts.Metrics, rec)
 }
 
 // Allreduce combines sendBuf into recvBuf across all ranks with op.
@@ -113,6 +118,10 @@ func (x *Comm) ReduceScatterBlock(sendBuf, recvBuf *device.Buffer, count int, dt
 // nothing from a CCL kernel launch.
 func (x *Comm) Barrier() {
 	x.rt.stats.MPIOps++
+	x.rt.opts.Metrics.Counter(trace.MetricOps,
+		"Collective operations by dispatch path.",
+		metrics.Labels{"op": "barrier", "path": PathMPI.String(),
+			"backend": string(x.rt.kind), "size_bucket": metrics.SizeBucketLabel(0)}).Inc()
 	x.mpi.Barrier()
 }
 

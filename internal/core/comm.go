@@ -75,6 +75,11 @@ func (x *Comm) cclComm() (*ccl.Comm, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Backend-level instrumentation (launches, group fusion, transfer
+		// bytes) reports into the same registry as the dispatch metrics.
+		if rt.opts.Metrics != nil && len(comms) > 0 {
+			comms[0].SetMetrics(rt.opts.Metrics)
+		}
 		rt.cache[key] = comms
 	}
 	return comms[x.Rank()], nil
@@ -102,17 +107,20 @@ func (x *Comm) decide(op OpKind, bytes int64, dt mpi.Datatype, rop *mpi.Op, bufs
 	}
 	if !cfg.SupportsKind(x.Device().Kind) {
 		rt.stats.Fallbacks.Device++
+		rt.countFallback(op, "device")
 		return decision{}
 	}
 	for _, b := range bufs {
 		if b != nil && !b.OnDevice() {
 			rt.stats.Fallbacks.HostBuffer++
+			rt.countFallback(op, "host_buffer")
 			return decision{}
 		}
 	}
 	cdt, ok := mapDatatype(dt)
 	if !ok || !cfg.Datatypes[cdt] {
 		rt.stats.Fallbacks.Datatype++
+		rt.countFallback(op, "datatype")
 		return decision{}
 	}
 	var cop ccl.RedOp
@@ -120,11 +128,16 @@ func (x *Comm) decide(op OpKind, bytes int64, dt mpi.Datatype, rop *mpi.Op, bufs
 		cop, ok = mapOp(*rop)
 		if !ok || !cfg.Ops[cop] {
 			rt.stats.Fallbacks.Op++
+			rt.countFallback(op, "op")
 			return decision{}
 		}
 	}
-	if rt.opts.Mode == Hybrid && rt.table.Lookup(op, bytes) == PathMPI {
-		return decision{}
+	if rt.opts.Mode == Hybrid {
+		path, hit := rt.table.LookupDetail(op, bytes)
+		rt.countTuning(op, path, hit)
+		if path == PathMPI {
+			return decision{}
+		}
 	}
 	return decision{useCCL: true, dt: cdt, op: cop}
 }

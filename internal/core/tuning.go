@@ -59,19 +59,27 @@ type TuningTable struct {
 // Lookup returns the path for an operation at a payload size. Operations
 // without a rule default to the CCL path (capability checks still guard it).
 func (t *TuningTable) Lookup(op OpKind, bytes int64) Path {
+	p, _ := t.LookupDetail(op, bytes)
+	return p
+}
+
+// LookupDetail is Lookup plus whether a tuned rule decided the path (true)
+// or the table fell through to the CCL default (false) — the hit/miss
+// split the tuning-lookup metrics report.
+func (t *TuningTable) LookupDetail(op OpKind, bytes int64) (Path, bool) {
 	if t == nil {
-		return PathCCL
+		return PathCCL, false
 	}
 	rule, ok := t.Rules[op]
 	if !ok {
-		return PathCCL
+		return PathCCL, false
 	}
 	for _, th := range rule {
 		if th.MaxBytes == 0 || bytes <= th.MaxBytes {
-			return th.Path
+			return th.Path, true
 		}
 	}
-	return PathCCL
+	return PathCCL, false
 }
 
 // Set installs a rule, keeping thresholds sorted (unbounded entry last).

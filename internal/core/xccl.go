@@ -30,6 +30,7 @@ import (
 	"mpixccl/internal/ccl/rccl"
 	"mpixccl/internal/device"
 	"mpixccl/internal/fabric"
+	"mpixccl/internal/metrics"
 	"mpixccl/internal/mpi"
 	"mpixccl/internal/sim"
 	"mpixccl/internal/trace"
@@ -154,6 +155,12 @@ type Options struct {
 	// Trace, when non-nil, records every collective call (op, path,
 	// bytes, virtual duration).
 	Trace *trace.Recorder
+	// Metrics, when non-nil, aggregates runtime counters and latency
+	// histograms: per-op path selection, fallback activations, tuning-table
+	// hits/misses, plus the MPI- and CCL-layer instrumentation of the
+	// communicators this runtime creates. Do not also Mirror the same
+	// registry into Trace, or operations count twice.
+	Metrics *metrics.Registry
 }
 
 // Runtime is the per-job xCCL state: backend choice, communicator cache,
@@ -201,7 +208,35 @@ func NewRuntime(job *mpi.Job, opts Options) (*Runtime, error) {
 		sys := job.Fabric().System()
 		rt.table = DefaultTableFor(sys.Name, rt.kind, sys.NumNodes() > 1)
 	}
+	// One registry observes the whole stack: the MPI runtime's protocol
+	// counters ride the same sink as the xCCL dispatch metrics.
+	if opts.Metrics != nil {
+		job.SetMetrics(opts.Metrics)
+	}
 	return rt, nil
+}
+
+// Metrics returns the runtime's registry (nil when none was wired).
+func (rt *Runtime) Metrics() *metrics.Registry { return rt.opts.Metrics }
+
+// countFallback bumps the per-cause MPI-fallback counter.
+func (rt *Runtime) countFallback(op OpKind, cause string) {
+	rt.opts.Metrics.Counter("xccl_fallbacks_total",
+		"MPI-path fallbacks by cause (datatype, op, device, host_buffer, ccl_error).",
+		metrics.Labels{"op": string(op), "cause": cause, "backend": string(rt.kind)}).Inc()
+}
+
+// countTuning bumps the tuning-table lookup counter: decision is the path
+// the table chose, hit reports whether a tuned rule decided it (vs the
+// CCL default for ops without a rule).
+func (rt *Runtime) countTuning(op OpKind, decision Path, hit bool) {
+	table := "default"
+	if hit {
+		table = "hit"
+	}
+	rt.opts.Metrics.Counter("xccl_tuning_lookups_total",
+		"Hybrid-mode tuning-table lookups by decided path and rule hit/miss.",
+		metrics.Labels{"op": string(op), "decision": decision.String(), "table": table}).Inc()
 }
 
 // Backend reports the resolved CCL backend.

@@ -9,6 +9,7 @@ import (
 	"mpixccl/internal/core"
 	"mpixccl/internal/device"
 	"mpixccl/internal/fabric"
+	"mpixccl/internal/metrics"
 	"mpixccl/internal/mpi"
 	"mpixccl/internal/sim"
 	"mpixccl/internal/topology"
@@ -78,6 +79,11 @@ type Config struct {
 	// CoordOverhead is Horovod's per-op negotiation/bookkeeping cost,
 	// paid by every engine.
 	CoordOverhead time.Duration
+	// Metrics, when non-nil, aggregates training-loop instrumentation:
+	// fusion-buffer fill levels, per-step duration, and per-bucket
+	// allreduce latency distributions (rank 0's view), plus the runtime
+	// layers' own counters for the engines that support them.
+	Metrics *metrics.Registry
 }
 
 func (c *Config) fillDefaults() {
@@ -159,6 +165,23 @@ func Train(cfg Config) (Report, error) {
 			maxBucket = b.Bytes
 		}
 	}
+	// Fusion-buffer fill levels: how much of the FusionBytes budget each
+	// fused bucket actually carries (ratio in [0,1]; a low tail means the
+	// threshold is oversized for this model's gradient inventory).
+	fillHist := cfg.Metrics.Histogram("dl_fusion_fill_ratio",
+		"Fusion-buffer fill level per fused bucket (bucket bytes / fusion threshold).",
+		[]float64{0.1, 0.25, 0.5, 0.75, 0.9, 1},
+		metrics.Labels{"model": cfg.Model.Name, "engine": string(cfg.Engine)})
+	for _, b := range buckets {
+		fillHist.Observe(float64(b.Bytes) / float64(cfg.FusionBytes))
+	}
+	allreduceHist := cfg.Metrics.Histogram("dl_allreduce_latency_seconds",
+		"Per-fused-bucket allreduce virtual latency (rank 0).",
+		metrics.LatencyBuckets(), metrics.Labels{"engine": string(cfg.Engine)})
+	stepHist := cfg.Metrics.Histogram("dl_step_seconds",
+		"Training-step virtual duration (rank 0, warmup excluded).",
+		[]float64{0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1, 2, 5},
+		metrics.Labels{"engine": string(cfg.Engine)})
 	rate := computeRate(sys.Device(0).Kind)
 	computeTime := time.Duration(float64(cfg.BatchSize) / rate * float64(time.Second))
 
@@ -172,14 +195,20 @@ func Train(cfg Config) (Report, error) {
 			// Forward + backward compute.
 			p.Sleep(computeTime)
 			// Gradient exchange, bucket by bucket in production order.
+			measured := step > 0 && ge.dev().ID == 0 // rank 0, after warmup
 			for _, b := range buckets {
 				p.Sleep(cfg.CoordOverhead)
 				bucket := grad.Slice(0, b.Bytes)
+				arStart := p.Now()
 				ge.allreduce(bucket, bucket, int(b.Bytes/4))
+				if measured {
+					metrics.StartTimer(allreduceHist, arStart).Stop(p.Now())
+				}
 			}
 			ge.barrier()
-			if step > 0 && ge.dev().ID == 0 { // rank 0 records
+			if measured {
 				stepTimes = append(stepTimes, p.Now()-start)
+				metrics.StartTimer(stepHist, start).Stop(p.Now())
 			}
 		}
 	}
@@ -207,16 +236,20 @@ func launch(cfg *Config, k *sim.Kernel, sys *topology.System, fab *fabric.Fabric
 	switch cfg.Engine {
 	case EngineXCCL:
 		job := mpi.NewJobOnSystem(fab, mpi.MVAPICHProfile(), sys, nranks)
-		rt, err := core.NewRuntime(job, core.Options{Backend: cfg.Backend, Mode: core.Hybrid})
+		rt, err := core.NewRuntime(job, core.Options{Backend: cfg.Backend, Mode: core.Hybrid,
+			Metrics: cfg.Metrics})
 		if err != nil {
 			return err
 		}
 		return rt.Run(func(x *core.Comm) { body(&xcclEngine{x: x}) })
 	case EngineOpenMPI:
 		job := baseline.NewOpenMPIJob(fab, sys, nranks)
+		job.SetMetrics(cfg.Metrics)
 		return job.Run(func(c *mpi.Comm) { body(&mpiEngine{c: c}) })
 	case EngineUCC:
-		ucc := baseline.NewUCC(baseline.NewOpenMPIJob(fab, sys, nranks))
+		job := baseline.NewOpenMPIJob(fab, sys, nranks)
+		job.SetMetrics(cfg.Metrics)
+		ucc := baseline.NewUCC(job)
 		return ucc.Run(func(x *baseline.Comm) { body(&uccEngine{x: x}) })
 	case EnginePureCCL:
 		kind, err := core.ResolveBackend(cfg.Backend, sys.Device(0).Kind)
@@ -226,6 +259,9 @@ func launch(cfg *Config, k *sim.Kernel, sys *topology.System, fab *fabric.Fabric
 		comms, err := core.NewBackendComms(kind, fab, sys.Devices()[:nranks])
 		if err != nil {
 			return err
+		}
+		if cfg.Metrics != nil {
+			comms[0].SetMetrics(cfg.Metrics)
 		}
 		bar := sim.NewBarrier(k, nranks)
 		for r := 0; r < nranks; r++ {

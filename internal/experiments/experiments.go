@@ -14,6 +14,7 @@ import (
 
 	"mpixccl/internal/core"
 	"mpixccl/internal/dl"
+	"mpixccl/internal/metrics"
 	"mpixccl/internal/omb"
 	"mpixccl/internal/topology"
 )
@@ -103,9 +104,10 @@ func Table1() string {
 
 // Fig1a reproduces the motivation: MPI vs pure NCCL Allreduce on 4 nodes /
 // 32 GPUs of ThetaGPU, with the ≈16 KB crossover.
-func Fig1a(scale Scale) (*Figure, error) {
+func Fig1a(scale Scale, reg *metrics.Registry) (*Figure, error) {
 	min, max := collSweep(scale)
-	base := omb.Config{System: "thetagpu", Nodes: 4, MinBytes: min, MaxBytes: max, Iterations: iters(scale)}
+	base := omb.Config{System: "thetagpu", Nodes: 4, MinBytes: min, MaxBytes: max,
+		Iterations: iters(scale), Metrics: reg}
 	f := &Figure{ID: "fig1a", Title: "MPI vs NCCL Allreduce latency (32 GPUs, 4 nodes)",
 		XLabel: "bytes", Metric: "latency"}
 	mpiCfg := base
@@ -128,9 +130,10 @@ func Fig1a(scale Scale) (*Figure, error) {
 
 // Fig1b reproduces MPI vs pure RCCL Allgather on 4 nodes / 8 GPUs of MRI,
 // with the ≈64 KB crossover.
-func Fig1b(scale Scale) (*Figure, error) {
+func Fig1b(scale Scale, reg *metrics.Registry) (*Figure, error) {
 	min, max := collSweep(scale)
-	base := omb.Config{System: "mri", Nodes: 4, MinBytes: min, MaxBytes: max, Iterations: iters(scale)}
+	base := omb.Config{System: "mri", Nodes: 4, MinBytes: min, MaxBytes: max,
+		Iterations: iters(scale), Metrics: reg}
 	f := &Figure{ID: "fig1b", Title: "MPI vs RCCL Allgather latency (8 GPUs, 4 nodes)",
 		XLabel: "bytes", Metric: "latency"}
 	mpiCfg := base
@@ -187,12 +190,12 @@ func backendSpecs(scale Scale) []backendSpec {
 
 // pt2pt runs Fig 3 (intra-node) or Fig 4 (inter-node): per backend the
 // latency, bandwidth, and bidirectional bandwidth sweeps.
-func pt2pt(id, title string, nodes func(backendSpec) int, scale Scale) (*Figure, error) {
+func pt2pt(id, title string, nodes func(backendSpec) int, scale Scale, reg *metrics.Registry) (*Figure, error) {
 	min, max := sweep(scale)
 	f := &Figure{ID: id, Title: title, XLabel: "bytes", Metric: "latency|MB/s"}
 	for _, spec := range backendSpecs(scale) {
 		cfg := omb.Config{System: spec.system, Nodes: nodes(spec), Backend: spec.backend,
-			MinBytes: min, MaxBytes: max, Iterations: iters(scale)}
+			MinBytes: min, MaxBytes: max, Iterations: iters(scale), Metrics: reg}
 		lat, err := omb.RunPt2Pt(cfg, omb.LatencyBench)
 		if err != nil {
 			return nil, err
@@ -226,21 +229,21 @@ func pt2pt(id, title string, nodes func(backendSpec) int, scale Scale) (*Figure,
 }
 
 // Fig3 is the intra-node point-to-point evaluation.
-func Fig3(scale Scale) (*Figure, error) {
+func Fig3(scale Scale, reg *metrics.Registry) (*Figure, error) {
 	return pt2pt("fig3", "Intra-node point-to-point (latency/bw/bibw per backend)",
-		func(backendSpec) int { return 1 }, scale)
+		func(backendSpec) int { return 1 }, scale, reg)
 }
 
 // Fig4 is the inter-node point-to-point evaluation.
-func Fig4(scale Scale) (*Figure, error) {
+func Fig4(scale Scale, reg *metrics.Registry) (*Figure, error) {
 	return pt2pt("fig4", "Inter-node point-to-point (latency/bw/bibw per backend)",
-		func(backendSpec) int { return 2 }, scale)
+		func(backendSpec) int { return 2 }, scale, reg)
 }
 
 // collectives runs the Fig 5 (single-node) or Fig 6 (multi-node) grid: four
 // operations × four backends × {hybrid, pure-xCCL, pure CCL, and (NCCL
 // only) Open MPI + UCX + UCC}.
-func collectives(id, title string, multi bool, scale Scale) (*Figure, error) {
+func collectives(id, title string, multi bool, scale Scale, reg *metrics.Registry) (*Figure, error) {
 	min, max := collSweep(scale)
 	f := &Figure{ID: id, Title: title, XLabel: "bytes", Metric: "latency"}
 	ops := []omb.Collective{omb.Allreduce, omb.Reduce, omb.Bcast, omb.Alltoall}
@@ -250,7 +253,7 @@ func collectives(id, title string, multi bool, scale Scale) (*Figure, error) {
 			nodes = spec.multiNodes
 		}
 		base := omb.Config{System: spec.system, Nodes: nodes, Backend: spec.backend,
-			MinBytes: min, MaxBytes: max, Iterations: iters(scale)}
+			MinBytes: min, MaxBytes: max, Iterations: iters(scale), Metrics: reg}
 		for _, op := range ops {
 			type variant struct {
 				label string
@@ -284,24 +287,24 @@ func collectives(id, title string, multi bool, scale Scale) (*Figure, error) {
 }
 
 // Fig5 is the single-node collective grid.
-func Fig5(scale Scale) (*Figure, error) {
-	return collectives("fig5", "Collective latency, single node (4 ops × 4 backends)", false, scale)
+func Fig5(scale Scale, reg *metrics.Registry) (*Figure, error) {
+	return collectives("fig5", "Collective latency, single node (4 ops × 4 backends)", false, scale, reg)
 }
 
 // Fig6 is the multi-node collective grid.
-func Fig6(scale Scale) (*Figure, error) {
-	return collectives("fig6", "Collective latency, multi node (4 ops × 4 backends)", true, scale)
+func Fig6(scale Scale, reg *metrics.Registry) (*Figure, error) {
+	return collectives("fig6", "Collective latency, multi node (4 ops × 4 backends)", true, scale, reg)
 }
 
 // dlFigure runs one application-level figure: per engine and batch size,
 // aggregate img/s.
-func dlFigure(id, title, system string, nodes int, backend core.BackendKind, engines []dl.Engine) (*Figure, error) {
+func dlFigure(id, title, system string, nodes int, backend core.BackendKind, engines []dl.Engine, reg *metrics.Registry) (*Figure, error) {
 	f := &Figure{ID: id, Title: title, XLabel: "batch", Metric: "img/s"}
 	for _, eng := range engines {
 		s := Series{Name: string(eng)}
 		for _, bs := range []int{32, 64, 128} {
 			rep, err := dl.Train(dl.Config{System: system, Nodes: nodes, BatchSize: bs,
-				Steps: 1, Engine: eng, Backend: backend})
+				Steps: 1, Engine: eng, Backend: backend, Metrics: reg})
 			if err != nil {
 				return nil, err
 			}
@@ -313,9 +316,9 @@ func dlFigure(id, title, system string, nodes int, backend core.BackendKind, eng
 }
 
 // Fig7 is TensorFlow+Horovod on the NVIDIA system (1 node and multi-node).
-func Fig7(scale Scale) (*Figure, error) {
+func Fig7(scale Scale, reg *metrics.Registry) (*Figure, error) {
 	engines := []dl.Engine{dl.EngineXCCL, dl.EnginePureCCL, dl.EngineOpenMPI, dl.EngineUCC}
-	a, err := dlFigure("fig7a", "Horovod on NVIDIA, 1 node (8 GPUs)", "thetagpu", 1, core.NCCL, engines)
+	a, err := dlFigure("fig7a", "Horovod on NVIDIA, 1 node (8 GPUs)", "thetagpu", 1, core.NCCL, engines, reg)
 	if err != nil {
 		return nil, err
 	}
@@ -324,7 +327,7 @@ func Fig7(scale Scale) (*Figure, error) {
 		nodes = 16
 	}
 	b, err := dlFigure("fig7b", fmt.Sprintf("Horovod on NVIDIA, %d nodes (%d GPUs)", nodes, nodes*8),
-		"thetagpu", nodes, core.NCCL, []dl.Engine{dl.EngineXCCL, dl.EngineOpenMPI, dl.EngineUCC})
+		"thetagpu", nodes, core.NCCL, []dl.Engine{dl.EngineXCCL, dl.EngineOpenMPI, dl.EngineUCC}, reg)
 	if err != nil {
 		return nil, err
 	}
@@ -337,13 +340,13 @@ func Fig7(scale Scale) (*Figure, error) {
 }
 
 // Fig8 is Horovod on the AMD system.
-func Fig8(scale Scale) (*Figure, error) {
+func Fig8(scale Scale, reg *metrics.Registry) (*Figure, error) {
 	engines := []dl.Engine{dl.EngineXCCL, dl.EnginePureCCL}
-	a, err := dlFigure("fig8a", "Horovod on AMD, 4 nodes (8 GPUs)", "mri", 4, core.RCCL, engines)
+	a, err := dlFigure("fig8a", "Horovod on AMD, 4 nodes (8 GPUs)", "mri", 4, core.RCCL, engines, reg)
 	if err != nil {
 		return nil, err
 	}
-	b, err := dlFigure("fig8b", "Horovod on AMD, 8 nodes (16 GPUs)", "mri", 8, core.RCCL, engines)
+	b, err := dlFigure("fig8b", "Horovod on AMD, 8 nodes (16 GPUs)", "mri", 8, core.RCCL, engines, reg)
 	if err != nil {
 		return nil, err
 	}
@@ -356,9 +359,9 @@ func Fig8(scale Scale) (*Figure, error) {
 }
 
 // Fig9 is Horovod on the Habana system.
-func Fig9(scale Scale) (*Figure, error) {
+func Fig9(scale Scale, reg *metrics.Registry) (*Figure, error) {
 	engines := []dl.Engine{dl.EngineXCCL, dl.EnginePureCCL}
-	a, err := dlFigure("fig9a", "Horovod on Habana, 1 node (8 HPUs)", "voyager", 1, core.HCCL, engines)
+	a, err := dlFigure("fig9a", "Horovod on Habana, 1 node (8 HPUs)", "voyager", 1, core.HCCL, engines, reg)
 	if err != nil {
 		return nil, err
 	}
@@ -367,7 +370,7 @@ func Fig9(scale Scale) (*Figure, error) {
 		nodes = 4
 	}
 	b, err := dlFigure("fig9b", fmt.Sprintf("Horovod on Habana, %d nodes (%d HPUs)", nodes, nodes*8),
-		"voyager", nodes, core.HCCL, engines)
+		"voyager", nodes, core.HCCL, engines, reg)
 	if err != nil {
 		return nil, err
 	}
@@ -380,13 +383,13 @@ func Fig9(scale Scale) (*Figure, error) {
 }
 
 // Fig10 is Horovod with the MSCCL backend on the NVIDIA system.
-func Fig10(scale Scale) (*Figure, error) {
+func Fig10(scale Scale, reg *metrics.Registry) (*Figure, error) {
 	engines := []dl.Engine{dl.EngineXCCL, dl.EnginePureCCL}
-	a, err := dlFigure("fig10a", "Horovod with MSCCL, 1 node (8 GPUs)", "thetagpu", 1, core.MSCCL, engines)
+	a, err := dlFigure("fig10a", "Horovod with MSCCL, 1 node (8 GPUs)", "thetagpu", 1, core.MSCCL, engines, reg)
 	if err != nil {
 		return nil, err
 	}
-	b, err := dlFigure("fig10b", "Horovod with MSCCL, 2 nodes (16 GPUs)", "thetagpu", 2, core.MSCCL, engines)
+	b, err := dlFigure("fig10b", "Horovod with MSCCL, 2 nodes (16 GPUs)", "thetagpu", 2, core.MSCCL, engines, reg)
 	if err != nil {
 		return nil, err
 	}
@@ -457,38 +460,46 @@ func IDs() []string {
 
 // Run executes one experiment by id and returns its formatted output.
 func Run(id string, scale Scale) (string, error) {
+	return RunWith(id, scale, nil)
+}
+
+// RunWith is Run with a metrics registry wired through the whole stack
+// under test: every rerun figure also aggregates dispatch-path counters,
+// fallback causes, protocol choices, and latency histograms into reg
+// (nil disables instrumentation).
+func RunWith(id string, scale Scale, reg *metrics.Registry) (string, error) {
 	switch id {
 	case "table1":
 		return Table1(), nil
 	case "fig1a":
-		f, err := Fig1a(scale)
+		f, err := Fig1a(scale, reg)
 		return format(f, err)
 	case "fig1b":
-		f, err := Fig1b(scale)
+		f, err := Fig1b(scale, reg)
 		return format(f, err)
 	case "fig3":
-		f, err := Fig3(scale)
+		f, err := Fig3(scale, reg)
 		return format(f, err)
 	case "fig4":
-		f, err := Fig4(scale)
+		f, err := Fig4(scale, reg)
 		return format(f, err)
 	case "fig5":
-		f, err := Fig5(scale)
+		f, err := Fig5(scale, reg)
 		return format(f, err)
 	case "fig6":
-		f, err := Fig6(scale)
+		f, err := Fig6(scale, reg)
 		return format(f, err)
 	case "fig7":
-		f, err := Fig7(scale)
+		f, err := Fig7(scale, reg)
 		return format(f, err)
 	case "fig8":
-		f, err := Fig8(scale)
+		f, err := Fig8(scale, reg)
 		return format(f, err)
 	case "fig9":
-		f, err := Fig9(scale)
+		f, err := Fig9(scale, reg)
 		return format(f, err)
 	case "fig10":
-		f, err := Fig10(scale)
+		f, err := Fig10(scale, reg)
 		return format(f, err)
 	default:
 		return "", fmt.Errorf("experiments: unknown id %q (want one of %s)", id, strings.Join(IDs(), ", "))

@@ -25,7 +25,7 @@ func TestTable1Output(t *testing.T) {
 }
 
 func TestFig1aCrossoverReported(t *testing.T) {
-	f, err := Fig1a(Quick)
+	f, err := Fig1a(Quick, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,7 +38,7 @@ func TestFig1aCrossoverReported(t *testing.T) {
 }
 
 func TestFig3NotesCarryCalibration(t *testing.T) {
-	f, err := Fig3(Quick)
+	f, err := Fig3(Quick, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +72,7 @@ func TestFig7SeriesShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("application figure is slow")
 	}
-	f, err := Fig7(Quick)
+	f, err := Fig7(Quick, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

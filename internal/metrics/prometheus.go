@@ -1,0 +1,126 @@
+package metrics
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus emits the registry in the Prometheus text exposition
+// format (version 0.0.4): # HELP and # TYPE headers per family, one sample
+// line per series, histograms expanded into _bucket/_sum/_count samples.
+// Families and series are emitted in sorted order so output is
+// deterministic and diffable. Safe on a nil registry (writes nothing).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	bw := bufio.NewWriter(w)
+	for _, name := range names {
+		f := r.families[name]
+		help := strings.ReplaceAll(f.help, `\`, `\\`)
+		help = strings.ReplaceAll(help, "\n", `\n`)
+		fmt.Fprintf(bw, "# HELP %s %s\n", f.name, help)
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind)
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, key := range keys {
+			s := f.series[key]
+			switch f.kind {
+			case kindHistogram:
+				writeHistogram(bw, f, key, s)
+			default:
+				fmt.Fprintf(bw, "%s%s %s\n", f.name, key, formatValue(s.value))
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// writeHistogram expands one histogram series into cumulative _bucket
+// samples plus _sum and _count.
+func writeHistogram(w io.Writer, f *family, key string, s *series) {
+	var cum uint64
+	for i, ub := range f.buckets {
+		cum += s.counts[i]
+		fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, bucketKey(key, formatValue(ub)), cum)
+	}
+	cum += s.counts[len(f.buckets)]
+	fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, bucketKey(key, "+Inf"), cum)
+	fmt.Fprintf(w, "%s_sum%s %s\n", f.name, key, formatValue(s.sum))
+	fmt.Fprintf(w, "%s_count%s %d\n", f.name, key, s.count)
+}
+
+// bucketKey appends the le label to a canonical label block.
+func bucketKey(key, le string) string {
+	if key == "" {
+		return fmt.Sprintf(`{le="%s"}`, le)
+	}
+	return fmt.Sprintf(`%s,le="%s"}`, key[:len(key)-1], le)
+}
+
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+var (
+	promNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	// promLineRe splits "name{labels} value" or "name value".
+	promLineRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(\S+)$`)
+)
+
+// ParseText parses Prometheus text-format output back into a flat map of
+// "name{labels}" (labels exactly as emitted, "" block omitted) to sample
+// value. It validates metric-name syntax and numeric values, so tests can
+// both assert on specific series and confirm the export is well-formed.
+func ParseText(data []byte) (map[string]float64, error) {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		m := promLineRe.FindStringSubmatch(line)
+		if m == nil {
+			return nil, fmt.Errorf("metrics: line %d: malformed sample %q", lineNo, line)
+		}
+		name, labels, valStr := m[1], m[2], m[3]
+		if !promNameRe.MatchString(name) {
+			return nil, fmt.Errorf("metrics: line %d: bad metric name %q", lineNo, name)
+		}
+		v, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			return nil, fmt.Errorf("metrics: line %d: bad value %q: %w", lineNo, valStr, err)
+		}
+		out[name+labels] = v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Key builds the "name{labels}" sample key ParseText produces for a
+// counter or gauge series — the lookup convenience for tests.
+func Key(name string, labels Labels) string {
+	return name + labels.canonical()
+}

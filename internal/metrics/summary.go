@@ -1,0 +1,59 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteSummary emits a human-readable table of every series: counters and
+// gauges as one value row, histograms as count / mean / max-bucket rows.
+// Rows sort by (family, labels) so the output is deterministic. Safe on a
+// nil registry (writes nothing).
+func (r *Registry) WriteSummary(w io.Writer) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "%-40s %-48s %15s\n", "METRIC", "LABELS", "VALUE")
+	for _, name := range names {
+		f := r.families[name]
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, key := range keys {
+			s := f.series[key]
+			labels := key
+			if labels == "" {
+				labels = "{}"
+			}
+			switch f.kind {
+			case kindHistogram:
+				mean := 0.0
+				if s.count > 0 {
+					mean = s.sum / float64(s.count)
+				}
+				fmt.Fprintf(w, "%-40s %-48s %15s\n", f.name, truncateLabel(labels, 48),
+					fmt.Sprintf("n=%d mean=%.3gs", s.count, mean))
+			default:
+				fmt.Fprintf(w, "%-40s %-48s %15s\n", f.name, truncateLabel(labels, 48),
+					formatValue(s.value))
+			}
+		}
+	}
+}
+
+func truncateLabel(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}

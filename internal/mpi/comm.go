@@ -6,6 +6,7 @@ import (
 
 	"mpixccl/internal/device"
 	"mpixccl/internal/fabric"
+	"mpixccl/internal/metrics"
 	"mpixccl/internal/sim"
 	"mpixccl/internal/topology"
 )
@@ -18,6 +19,7 @@ type Job struct {
 	devices []*device.Device
 	world   *commCtx
 	nextCtx int
+	metrics *metrics.Registry // nil = no instrumentation
 }
 
 // NewJob creates a job with one rank per given device, in rank order.
@@ -44,6 +46,29 @@ func (j *Job) Size() int { return len(j.devices) }
 
 // Profile returns the job's protocol constants.
 func (j *Job) Profile() Profile { return j.profile }
+
+// SetMetrics wires a registry into the runtime's hot paths: per-send
+// protocol-choice counters (eager vs rendezvous) and byte totals. A nil
+// registry disables instrumentation. Call before Run.
+func (j *Job) SetMetrics(reg *metrics.Registry) { j.metrics = reg }
+
+// Metrics returns the wired registry (nil when none).
+func (j *Job) Metrics() *metrics.Registry { return j.metrics }
+
+// countSend records one point-to-point send's protocol choice. The eager /
+// rendezvous split is the runtime's small- vs large-message personality
+// (Profile.EagerThreshold), so exposing it per run is what lets the paper's
+// protocol-crossover claims be checked after the fact.
+func (j *Job) countSend(protocol string, bytes int64) {
+	if j.metrics == nil {
+		return
+	}
+	lbl := metrics.Labels{"protocol": protocol, "profile": j.profile.Name}
+	j.metrics.Counter("mpi_sends_total",
+		"Point-to-point sends by wire protocol (eager or rendezvous).", lbl).Inc()
+	j.metrics.Counter("mpi_send_bytes_total",
+		"Point-to-point payload bytes by wire protocol.", lbl).Add(float64(bytes))
+}
 
 // Fabric returns the transport the job communicates over.
 func (j *Job) Fabric() *fabric.Fabric { return j.fab }

@@ -124,6 +124,7 @@ func (c *Comm) sendOn(p *sim.Proc, buf *device.Buffer, count int, dt Datatype, d
 	}
 
 	if bytes <= prof.EagerThreshold {
+		c.ctx.job.countSend("eager", bytes)
 		if r := m.takePosted(c.rank, tag); r != nil {
 			if int64(r.count)*int64(r.dt.Size()) < bytes {
 				panic("mpi: eager message longer than posted receive")
@@ -149,6 +150,7 @@ func (c *Comm) sendOn(p *sim.Proc, buf *device.Buffer, count int, dt Datatype, d
 	}
 
 	// Rendezvous: RTS, wait for the receive, then move data directly.
+	c.ctx.job.countSend("rendezvous", bytes)
 	env := &envelope{
 		src: c.rank, tag: tag, dt: dt, count: count,
 		srcBuf:    buf,

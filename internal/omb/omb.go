@@ -19,6 +19,7 @@ import (
 	"mpixccl/internal/core"
 	"mpixccl/internal/device"
 	"mpixccl/internal/fabric"
+	"mpixccl/internal/metrics"
 	"mpixccl/internal/mpi"
 	"mpixccl/internal/sim"
 	"mpixccl/internal/topology"
@@ -73,6 +74,10 @@ type Config struct {
 	Iterations, Warmup int
 	// Table overrides the hybrid tuning table.
 	Table *core.TuningTable
+	// Metrics, when non-nil, aggregates the stack-under-test's runtime
+	// counters (dispatch paths, fallbacks, protocol choices, CCL launches)
+	// into the registry for post-run inspection.
+	Metrics *metrics.Registry
 }
 
 func (c *Config) fillDefaults() {
@@ -222,7 +227,8 @@ func launchCollective(cfg *Config, w *world, nranks int, body func(d *collDriver
 			mode = core.PureCCL
 		}
 		job := mpi.NewJobOnSystem(w.fab, mpi.MVAPICHProfile(), w.sys, nranks)
-		rt, err := core.NewRuntime(job, core.Options{Backend: cfg.Backend, Mode: mode, Table: cfg.Table})
+		rt, err := core.NewRuntime(job, core.Options{Backend: cfg.Backend, Mode: mode,
+			Table: cfg.Table, Metrics: cfg.Metrics})
 		if err != nil {
 			return err
 		}
@@ -237,6 +243,7 @@ func launchCollective(cfg *Config, w *world, nranks int, body func(d *collDriver
 		})
 	case StackMPI:
 		job := mpi.NewJobOnSystem(w.fab, mpi.MVAPICHProfile(), w.sys, nranks)
+		job.SetMetrics(cfg.Metrics)
 		return job.Run(func(c *mpi.Comm) {
 			body(&collDriver{
 				do: func(op Collective, send, recv *device.Buffer, count int) {
@@ -248,6 +255,7 @@ func launchCollective(cfg *Config, w *world, nranks int, body func(d *collDriver
 		})
 	case StackOpenMPI:
 		job := baseline.NewOpenMPIJob(w.fab, w.sys, nranks)
+		job.SetMetrics(cfg.Metrics)
 		return job.Run(func(c *mpi.Comm) {
 			body(&collDriver{
 				do: func(op Collective, send, recv *device.Buffer, count int) {
@@ -258,7 +266,9 @@ func launchCollective(cfg *Config, w *world, nranks int, body func(d *collDriver
 			})
 		})
 	case StackUCC:
-		ucc := baseline.NewUCC(baseline.NewOpenMPIJob(w.fab, w.sys, nranks))
+		job := baseline.NewOpenMPIJob(w.fab, w.sys, nranks)
+		job.SetMetrics(cfg.Metrics)
+		ucc := baseline.NewUCC(job)
 		return ucc.Run(func(x *baseline.Comm) {
 			body(&collDriver{
 				do: func(op Collective, send, recv *device.Buffer, count int) {

@@ -55,6 +55,9 @@ func RunPt2Pt(cfg Config, bench Pt2PtKind) ([]Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Metrics != nil {
+		comms[0].SetMetrics(cfg.Metrics)
+	}
 	sizes := Sizes(cfg.MinBytes, cfg.MaxBytes)
 	results := make([]Result, len(sizes))
 	bar := sim.NewBarrier(w.k, 2)

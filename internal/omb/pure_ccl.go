@@ -18,6 +18,9 @@ func runPureCCLCollective(cfg *Config, w *world, nranks int, body func(d *collDr
 	if err != nil {
 		return err
 	}
+	if cfg.Metrics != nil {
+		comms[0].SetMetrics(cfg.Metrics)
+	}
 	bar := sim.NewBarrier(w.k, nranks)
 	counter := sim.NewCounter(w.k, nranks)
 	for r := 0; r < nranks; r++ {

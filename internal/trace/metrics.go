@@ -1,0 +1,60 @@
+package trace
+
+import "mpixccl/internal/metrics"
+
+// This file bridges the per-record timeline to the aggregate registry, so
+// one instrumentation pass (the trace.Record emitted per collective) yields
+// both the Chrome-trace export and the Prometheus-style counters.
+
+// Canonical metric families fed from trace records. core emits the same
+// families directly when a registry is wired without a recorder, so both
+// instrumentation routes produce identical series.
+const (
+	// MetricOps counts operations per (op, path, backend, size_bucket).
+	MetricOps = "xccl_ops_total"
+	// MetricOpBytes accumulates payload bytes per (op, path).
+	MetricOpBytes = "xccl_op_bytes_total"
+	// MetricOpLatency is the per-op virtual-latency histogram (seconds),
+	// labeled by (op, path).
+	MetricOpLatency = "xccl_op_latency_seconds"
+)
+
+// RecordMetrics feeds one record's aggregates into reg: the op counter, the
+// byte counter, and the latency histogram. Safe on a nil registry.
+func RecordMetrics(reg *metrics.Registry, rec Record) {
+	if reg == nil {
+		return
+	}
+	reg.Counter(MetricOps, "Collective operations by dispatch path.", metrics.Labels{
+		"op": rec.Op, "path": rec.Path, "backend": rec.Backend,
+		"size_bucket": metrics.SizeBucketLabel(rec.Bytes),
+	}).Inc()
+	reg.Counter(MetricOpBytes, "Payload bytes moved by collective operations.", metrics.Labels{
+		"op": rec.Op, "path": rec.Path,
+	}).Add(float64(rec.Bytes))
+	reg.Histogram(MetricOpLatency, "Virtual-time collective latency in seconds.",
+		metrics.LatencyBuckets(), metrics.Labels{
+			"op": rec.Op, "path": rec.Path,
+		}).ObserveDuration(rec.Duration)
+}
+
+// Mirror attaches a registry to the recorder: every subsequent Add also
+// feeds the record's aggregates into reg (live wiring). Safe on nil.
+// Mirror a recorder OR wire core.Options.Metrics — not both, or operations
+// count twice.
+func (r *Recorder) Mirror(reg *metrics.Registry) {
+	if r != nil {
+		r.mirror = reg
+	}
+}
+
+// Replay feeds every accumulated record into reg, for post-hoc aggregation
+// of a recorder that ran without a mirror. Safe on nil.
+func (r *Recorder) Replay(reg *metrics.Registry) {
+	if r == nil {
+		return
+	}
+	for _, rec := range r.records {
+		RecordMetrics(reg, rec)
+	}
+}

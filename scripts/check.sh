@@ -1,0 +1,15 @@
+#!/bin/sh
+# Pre-PR gate: formatting, vet, build, tests. Run from the repo root.
+set -eu
+
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt: needs formatting:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
+go vet ./...
+go build ./...
+go test ./...
+echo "check.sh: all clean"
