@@ -56,6 +56,7 @@ func (c *Comm) enqueueColl(s *device.Stream, name string, a *opArgs, bytes int64
 	co := c.core
 	return s.Enqueue(fmt.Sprintf("%s/%s/r%d", co.cfg.Name, name, rank), func(p *sim.Proc) {
 		rc := &runCtx{co: co, st: st, rank: rank, p: p}
+		c.delay(p, name) // injected straggler latency, if any
 		rc.launch(bytes)
 		st.start.Wait(p)
 		run(rc, st.args[rank])
@@ -68,7 +69,7 @@ func (c *Comm) enqueueColl(s *device.Stream, name string, a *opArgs, bytes int64
 // payloads run a latency-oriented binomial tree (reduce + broadcast),
 // mirroring NCCL's ring/tree split.
 func (c *Comm) AllReduce(send, recv *device.Buffer, count int, dt Datatype, op RedOp, s *device.Stream) error {
-	if err := c.validate(send, recv, count, dt, &op, 0); err != nil {
+	if err := c.validate("allreduce", send, recv, count, dt, &op, 0); err != nil {
 		return err
 	}
 	bytes := int64(count) * int64(dt.Size())
@@ -99,7 +100,7 @@ func (c *Comm) AllReduce(send, recv *device.Buffer, count int, dt Datatype, op R
 
 // Broadcast copies root's send buffer into every rank's recv buffer.
 func (c *Comm) Broadcast(send, recv *device.Buffer, count int, dt Datatype, root int, s *device.Stream) error {
-	if err := c.validate(send, recv, count, dt, nil, root); err != nil {
+	if err := c.validate("broadcast", send, recv, count, dt, nil, root); err != nil {
 		return err
 	}
 	bytes := int64(count) * int64(dt.Size())
@@ -112,7 +113,7 @@ func (c *Comm) Broadcast(send, recv *device.Buffer, count int, dt Datatype, root
 
 // Reduce combines send across ranks with op into root's recv buffer.
 func (c *Comm) Reduce(send, recv *device.Buffer, count int, dt Datatype, op RedOp, root int, s *device.Stream) error {
-	if err := c.validate(send, recv, count, dt, &op, root); err != nil {
+	if err := c.validate("reduce", send, recv, count, dt, &op, root); err != nil {
 		return err
 	}
 	bytes := int64(count) * int64(dt.Size())
@@ -126,7 +127,7 @@ func (c *Comm) Reduce(send, recv *device.Buffer, count int, dt Datatype, op RedO
 // AllGather concatenates each rank's count-element send buffer into every
 // rank's recv buffer (size count×n), in rank order.
 func (c *Comm) AllGather(send, recv *device.Buffer, count int, dt Datatype, s *device.Stream) error {
-	if err := c.validate(send, nil, count, dt, nil, 0); err != nil {
+	if err := c.validate("allgather", send, nil, count, dt, nil, 0); err != nil {
 		return err
 	}
 	bytes := int64(count) * int64(dt.Size())
@@ -143,7 +144,7 @@ func (c *Comm) AllGather(send, recv *device.Buffer, count int, dt Datatype, s *d
 // ReduceScatter reduces count×n elements with op and leaves rank r's
 // count-element block in its recv buffer.
 func (c *Comm) ReduceScatter(send, recv *device.Buffer, recvCount int, dt Datatype, op RedOp, s *device.Stream) error {
-	if err := c.validate(nil, recv, recvCount, dt, &op, 0); err != nil {
+	if err := c.validate("reducescatter", nil, recv, recvCount, dt, &op, 0); err != nil {
 		return err
 	}
 	bytes := int64(recvCount) * int64(dt.Size())

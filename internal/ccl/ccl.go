@@ -14,6 +14,7 @@
 package ccl
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -121,6 +122,10 @@ const (
 	// ErrInternal reports a library-internal failure (the class of error
 	// the paper hit with NCCL 2.18.3 on ThetaGPU, §4.4).
 	ErrInternal
+	// ErrRemote reports a transient peer/network failure (the
+	// ncclRemoteError class): the call may succeed if reissued, so the
+	// abstraction layer retries it before falling back to MPI.
+	ErrRemote
 )
 
 // String names the result code.
@@ -138,9 +143,20 @@ func (r Result) String() string {
 		return "xcclInvalidArgument"
 	case ErrInternal:
 		return "xcclInternalError"
+	case ErrRemote:
+		return "xcclRemoteError"
 	}
 	return fmt.Sprintf("Result(%d)", int(r))
 }
+
+// Error makes a Result usable as an errors.Is sentinel: callers write
+// errors.Is(err, ccl.ErrInternal) instead of unwrapping to *Error and
+// switching on the code.
+func (r Result) Error() string { return r.String() }
+
+// Transient reports whether a reissued call may succeed (retry-worthy),
+// as opposed to a deterministic capability or argument failure.
+func (r Result) Transient() bool { return r == ErrRemote }
 
 // Error is a failed CCL call. The abstraction layer inspects Result to
 // decide whether to fall back to the MPI path.
@@ -152,6 +168,65 @@ type Error struct {
 
 func (e *Error) Error() string {
 	return fmt.Sprintf("%s: %s: %s", e.Backend, e.Result, e.Msg)
+}
+
+// Unwrap exposes the Result sentinel to errors.Is/errors.As chains.
+func (e *Error) Unwrap() error {
+	if e.Result == Success {
+		return nil
+	}
+	return e.Result
+}
+
+// IsTransient reports whether err wraps a transient CCL failure — the
+// classification the dispatch layer's retry policy runs on.
+func IsTransient(err error) bool {
+	var e *Error
+	if errors.As(err, &e) {
+		return e.Result.Transient()
+	}
+	return false
+}
+
+// Injector is the fault-plan hook consulted at every CCL call site (see
+// internal/fault for the standard implementation). All methods take the
+// backend name, the calling rank, and the current virtual time; op is the
+// lower-case operation name ("allreduce", ..., "send", "recv", "group").
+// A nil return means the call proceeds normally.
+type Injector interface {
+	// OpError reports an error to inject into one collective or p2p call,
+	// evaluated before the call enqueues any work.
+	OpError(backend, op string, rank int, now time.Duration) *Error
+	// OpDelay reports extra straggler latency charged when the rank's
+	// part of the operation executes on its stream.
+	OpDelay(backend, op string, rank int, now time.Duration) time.Duration
+	// CommInitError reports an error that fails communicator creation for
+	// the given rank; any failing rank fails the whole init.
+	CommInitError(backend string, rank int, now time.Duration) *Error
+}
+
+// staticInjector adapts the legacy Config.InjectFailure flag to the
+// Injector hook: every collective and p2p call fails, communicator
+// creation still succeeds (a broken build initializes fine and fails at
+// first use, like the paper's NCCL 2.18.3).
+type staticInjector struct {
+	backend string
+	result  Result
+}
+
+func (s *staticInjector) OpError(backend, op string, rank int, now time.Duration) *Error {
+	return &Error{Backend: s.backend, Result: s.result, Msg: "injected library failure"}
+}
+
+func (s *staticInjector) OpDelay(string, string, int, time.Duration) time.Duration { return 0 }
+
+func (s *staticInjector) CommInitError(string, int, time.Duration) *Error { return nil }
+
+// StaticFailure returns an Injector that fails every collective and
+// point-to-point call with result — the modern form of the legacy
+// Config.InjectFailure flag.
+func StaticFailure(backend string, result Result) Injector {
+	return &staticInjector{backend: backend, result: result}
 }
 
 // SizeOverhead is an extra per-operation cost that kicks in once the
@@ -206,7 +281,14 @@ type Config struct {
 	// point-to-point call fail with that result — modeling a broken
 	// library build (the paper's NCCL 2.18.3 + TensorFlow version
 	// conflict, which the xCCL layer bypasses by falling back to MPI).
+	// NewComms routes it through the Faults hook (see StaticFailure), so
+	// both injection paths share one code path.
 	InjectFailure Result
+	// Faults, when non-nil, is consulted at every collective, p2p, and
+	// comm-init call site. Takes precedence over InjectFailure. When nil,
+	// NewComms falls back to InjectFailure and then to any fault agent
+	// attached to the fabric (fabric.Fabric.SetFaults).
+	Faults Injector
 }
 
 // SupportsKind reports whether the backend drives the device kind.

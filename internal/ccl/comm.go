@@ -12,16 +12,18 @@ import (
 
 // core is the state shared by all rank handles of one communicator.
 type core struct {
-	cfg  Config
-	fab  *fabric.Fabric
-	devs []*device.Device
-	n    int
+	cfg    Config
+	fab    *fabric.Fabric
+	devs   []*device.Device
+	n      int
+	faults Injector // nil = no injection
 
 	ops     map[int]*opState
 	p2pPost map[[2]int]*sim.Chan[*p2pSlot] // receiver-posted buffers per (src,dst)
 	algos   []*Algo                        // registered custom schedules
 	split   *splitState                    // in-flight CommSplit rendezvous
 	reg     *metrics.Registry              // nil = no instrumentation
+	chanCap int                            // 0 = no cap; see SetChannelCap
 }
 
 // SetMetrics wires a registry into the communicator (shared by every rank
@@ -91,7 +93,11 @@ type p2pSlot struct {
 }
 
 // NewComms builds a communicator over the given devices and returns the
-// per-rank handles. It validates that the backend can drive every device.
+// per-rank handles. It validates that the backend can drive every device
+// and consults the fault hook (explicit cfg.Faults, then the legacy
+// InjectFailure flag, then any agent attached to the fabric) for an
+// injected comm-init failure: if any rank's init is failed, the whole
+// creation fails, as ncclCommInitAll would.
 func NewComms(fab *fabric.Fabric, devs []*device.Device, cfg Config) ([]*Comm, error) {
 	if len(devs) == 0 {
 		return nil, &Error{Backend: cfg.Name, Result: ErrInvalidArgument, Msg: "no devices"}
@@ -102,8 +108,25 @@ func NewComms(fab *fabric.Fabric, devs []*device.Device, cfg Config) ([]*Comm, e
 				Msg: fmt.Sprintf("cannot drive %s", d)}
 		}
 	}
+	inj := cfg.Faults
+	if inj == nil && cfg.InjectFailure != Success {
+		inj = StaticFailure(cfg.Name, cfg.InjectFailure)
+	}
+	if inj == nil && fab != nil {
+		if a, ok := fab.Faults().(Injector); ok {
+			inj = a
+		}
+	}
+	if inj != nil {
+		now := fab.Kernel().Now()
+		for r := range devs {
+			if err := inj.CommInitError(cfg.Name, r, now); err != nil {
+				return nil, err
+			}
+		}
+	}
 	co := &core{
-		cfg: cfg, fab: fab, devs: devs, n: len(devs),
+		cfg: cfg, fab: fab, devs: devs, n: len(devs), faults: inj,
 		ops:     make(map[int]*opState),
 		p2pPost: make(map[[2]int]*sim.Chan[*p2pSlot]),
 	}
@@ -128,6 +151,21 @@ func (c *Comm) Backend() string { return c.core.cfg.Name }
 
 // Config returns the backend personality.
 func (c *Comm) Config() Config { return c.core.cfg }
+
+// SetChannelCap caps how many fabric channels this communicator's
+// transfers drive (0 clears the cap; values above the configured budget
+// have no effect). The cap is shared by every rank handle — it is the
+// dispatch layer's reaction to a degraded link: drive fewer channels so
+// concurrent flows keep a fair share of the shrunken pool.
+func (c *Comm) SetChannelCap(n int) {
+	if n < 0 {
+		n = 0
+	}
+	c.core.chanCap = n
+}
+
+// ChannelCap reports the active channel-budget cap (0 = none).
+func (c *Comm) ChannelCap() int { return c.core.chanCap }
 
 func (c *Comm) kernel() *sim.Kernel { return c.core.fab.Kernel() }
 
@@ -216,8 +254,16 @@ type runCtx struct {
 
 func (rc *runCtx) dev() *device.Device { return rc.co.devs[rc.rank] }
 
-func (rc *runCtx) opts() fabric.Opts {
-	return fabric.Opts{Channels: rc.co.cfg.Channels, ChunkBytes: rc.co.cfg.ChunkBytes}
+func (rc *runCtx) opts() fabric.Opts { return rc.co.fabOpts() }
+
+// fabOpts builds the transfer options, honoring any channel-budget cap the
+// dispatch layer applied for a degraded link.
+func (co *core) fabOpts() fabric.Opts {
+	ch := co.cfg.Channels
+	if co.chanCap > 0 && ch > co.chanCap {
+		ch = co.chanCap
+	}
+	return fabric.Opts{Channels: ch, ChunkBytes: co.cfg.ChunkBytes}
 }
 
 // xfer moves bytes between devices applying the backend's inter-node
@@ -289,11 +335,36 @@ func (rc *runCtx) reduceInto(op RedOp, dt Datatype, dst, src *device.Buffer, cou
 	rc.p.Sleep(rc.dev().ReduceTime(int64(count) * int64(dt.Size())))
 }
 
-// validate checks a collective call against the backend capability matrix.
-func (c *Comm) validate(send, recv *device.Buffer, count int, dt Datatype, op *RedOp, root int) error {
+// inject consults the fault hook for an error to fail this call with.
+// The returned error is nil when no injector is attached or no rule fires.
+func (c *Comm) inject(op string) error {
+	co := c.core
+	if co.faults == nil {
+		return nil
+	}
+	if e := co.faults.OpError(co.cfg.Name, op, c.rank, co.fab.Kernel().Now()); e != nil {
+		return e
+	}
+	return nil
+}
+
+// delay charges any injected straggler latency for this rank's part of op.
+func (c *Comm) delay(p *sim.Proc, op string) {
+	co := c.core
+	if co.faults == nil {
+		return
+	}
+	if d := co.faults.OpDelay(co.cfg.Name, op, c.rank, p.Now()); d > 0 {
+		p.Sleep(d)
+	}
+}
+
+// validate checks a collective call against the fault hook and the backend
+// capability matrix. opName is the operation for fault-rule scoping.
+func (c *Comm) validate(opName string, send, recv *device.Buffer, count int, dt Datatype, op *RedOp, root int) error {
 	cfg := &c.core.cfg
-	if cfg.InjectFailure != Success {
-		return &Error{Backend: cfg.Name, Result: cfg.InjectFailure, Msg: "injected library failure"}
+	if err := c.inject(opName); err != nil {
+		return err
 	}
 	if count < 0 {
 		return &Error{Backend: cfg.Name, Result: ErrInvalidArgument, Msg: "negative count"}

@@ -1,0 +1,51 @@
+package ccl
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestErrorUnwrapsToResult(t *testing.T) {
+	e := &Error{Backend: "nccl", Msg: "allreduce failed", Result: ErrInternal}
+	if !errors.Is(e, ErrInternal) {
+		t.Error("errors.Is(e, ErrInternal) = false")
+	}
+	if errors.Is(e, ErrRemote) {
+		t.Error("errors.Is(e, ErrRemote) = true for an internal error")
+	}
+	wrapped := fmt.Errorf("collective failed: %w", e)
+	if !errors.Is(wrapped, ErrInternal) {
+		t.Error("errors.Is lost the result through fmt.Errorf %%w")
+	}
+	var ce *Error
+	if !errors.As(wrapped, &ce) || ce.Backend != "nccl" {
+		t.Errorf("errors.As(wrapped, &ce) failed: %v", ce)
+	}
+}
+
+func TestIsTransient(t *testing.T) {
+	remote := fmt.Errorf("wrap: %w", &Error{Backend: "rccl", Result: ErrRemote})
+	if !IsTransient(remote) {
+		t.Error("remote error not transient")
+	}
+	for _, err := range []error{
+		&Error{Result: ErrInternal},
+		&Error{Result: ErrInvalidArgument},
+		errors.New("plain"),
+		nil,
+	} {
+		if IsTransient(err) {
+			t.Errorf("IsTransient(%v) = true", err)
+		}
+	}
+}
+
+func TestResultError(t *testing.T) {
+	if got := ErrRemote.Error(); got != "xcclRemoteError" {
+		t.Errorf("ErrRemote.Error() = %q", got)
+	}
+	if !ErrRemote.Transient() || ErrInternal.Transient() {
+		t.Error("Transient(): want true only for ErrRemote")
+	}
+}

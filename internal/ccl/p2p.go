@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"mpixccl/internal/device"
-	"mpixccl/internal/fabric"
 	"mpixccl/internal/sim"
 )
 
@@ -20,10 +19,10 @@ func (co *core) p2pChan(src, dst int) *sim.Chan[*p2pSlot] {
 	return ch
 }
 
-func (c *Comm) validateP2P(buf *device.Buffer, count int, dt Datatype, peer int) error {
+func (c *Comm) validateP2P(opName string, buf *device.Buffer, count int, dt Datatype, peer int) error {
 	cfg := &c.core.cfg
-	if cfg.InjectFailure != Success {
-		return &Error{Backend: cfg.Name, Result: cfg.InjectFailure, Msg: "injected library failure"}
+	if err := c.inject(opName); err != nil {
+		return err
 	}
 	if peer < 0 || peer >= c.core.n {
 		return &Error{Backend: cfg.Name, Result: ErrInvalidArgument,
@@ -48,7 +47,7 @@ func (co *core) runSend(p *sim.Proc, rank int, op p2pOp) {
 	}
 	co.countXfer(op.bytes)
 	d := co.fab.Transfer(p, slot.buf.Slice(0, op.bytes), op.buf.Slice(0, op.bytes), op.bytes,
-		fabricOpts(co.cfg))
+		co.fabOpts())
 	_ = d
 	slot.done.Fire()
 }
@@ -57,7 +56,7 @@ func (co *core) runSend(p *sim.Proc, rank int, op p2pOp) {
 // enqueues immediately; inside a group it is deferred to GroupEnd.
 // CCL p2p matches by order per pair — there are no tags (§3.3).
 func (c *Comm) Send(buf *device.Buffer, count int, dt Datatype, peer int, s *device.Stream) error {
-	if err := c.validateP2P(buf, count, dt, peer); err != nil {
+	if err := c.validateP2P("send", buf, count, dt, peer); err != nil {
 		return err
 	}
 	op := p2pOp{peer: peer, buf: buf, bytes: int64(count) * int64(dt.Size())}
@@ -70,6 +69,7 @@ func (c *Comm) Send(buf *device.Buffer, count int, dt Datatype, peer int, s *dev
 	rank := c.rank
 	s.Enqueue(fmt.Sprintf("%s/send/r%d", co.cfg.Name, rank), func(p *sim.Proc) {
 		co.countLaunch("p2p")
+		c.delay(p, "send")
 		p.Sleep(co.cfg.Launch)
 		co.runSend(p, rank, op)
 	})
@@ -79,7 +79,7 @@ func (c *Comm) Send(buf *device.Buffer, count int, dt Datatype, peer int, s *dev
 // Recv posts a receive of count elements from peer on the stream; deferred
 // to GroupEnd inside a group.
 func (c *Comm) Recv(buf *device.Buffer, count int, dt Datatype, peer int, s *device.Stream) error {
-	if err := c.validateP2P(buf, count, dt, peer); err != nil {
+	if err := c.validateP2P("recv", buf, count, dt, peer); err != nil {
 		return err
 	}
 	op := p2pOp{peer: peer, buf: buf, bytes: int64(count) * int64(dt.Size())}
@@ -92,6 +92,7 @@ func (c *Comm) Recv(buf *device.Buffer, count int, dt Datatype, peer int, s *dev
 	rank := c.rank
 	s.Enqueue(fmt.Sprintf("%s/recv/r%d", co.cfg.Name, rank), func(p *sim.Proc) {
 		co.countLaunch("p2p")
+		c.delay(p, "recv")
 		p.Sleep(co.cfg.Launch)
 		slot := &p2pSlot{buf: op.buf, bytes: op.bytes, done: sim.NewEvent(p.Kernel())}
 		co.p2pChan(op.peer, rank).Send(p, slot)
@@ -133,6 +134,7 @@ func (c *Comm) GroupEnd() error {
 		// beat per-message launches.
 		co.countLaunch("group")
 		co.countGroup(len(g.sends) + len(g.recvs))
+		c.delay(p, "group")
 		p.Sleep(co.cfg.Launch)
 		k := p.Kernel()
 		// Post every receive first (non-blocking), so no send can wait
@@ -159,6 +161,7 @@ func (c *Comm) GroupEnd() error {
 	return nil
 }
 
-func fabricOpts(cfg Config) fabric.Opts {
-	return fabric.Opts{Channels: cfg.Channels, ChunkBytes: cfg.ChunkBytes}
-}
+// GroupAbort discards a group left open by a failed batched call, so the
+// next GroupStart (a fallback retry, or the MPI path's caller moving on)
+// does not see a phantom nested group. Safe when no group is open.
+func (c *Comm) GroupAbort() { c.group = nil }

@@ -16,19 +16,29 @@ import (
 // transparently picks the MPI or CCL path per the dispatch decision.
 
 // run executes one collective through the decided path, handling the
-// CCL-error fallback (§1.2 advantage 3), statistics, trace records, and
-// metric aggregation.
+// CCL-error fallback (§1.2 advantage 3), the resilience policy (transient
+// retries, circuit breaker), statistics, trace records, and metric
+// aggregation.
 func (x *Comm) run(op OpKind, bytes int64, d decision,
 	cclPath func(cc *ccl.Comm, s *device.Stream) error, mpiPath func()) {
 	start := x.mpi.Proc().Now()
 	path := PathMPI
+	if d.useCCL && !x.rt.allowCCL(x, op) {
+		// Open breaker: demote to MPI without paying the CCL failure.
+		d.useCCL = false
+		x.rt.stats.BreakerSkips++
+		x.rt.stats.Fallbacks.Error++
+		x.rt.countFallback(op, "breaker_open")
+	}
 	if d.useCCL {
-		if err := x.runCCL(cclPath); err != nil {
+		if err := x.runResilient(op, cclPath); err != nil {
+			x.rt.breakerFailure(x, op)
 			x.rt.stats.Fallbacks.Error++
 			x.rt.stats.MPIOps++
 			x.rt.countFallback(op, "ccl_error")
 			mpiPath()
 		} else {
+			x.rt.breakerSuccess(x, op)
 			path = PathCCL
 			x.rt.stats.CCLOps++
 		}

@@ -11,6 +11,7 @@ import (
 	"mpixccl/internal/ccl/rccl"
 	"mpixccl/internal/device"
 	"mpixccl/internal/mpi"
+	"mpixccl/internal/sim"
 )
 
 // Comm is one rank's xCCL view of an MPI communicator: the same MPI
@@ -60,29 +61,56 @@ func backendConfig(kind BackendKind) (ccl.Config, error) {
 // cclComm returns (creating and caching on first use) this rank's CCL
 // communicator mirroring the MPI communicator — the communicator
 // maintenance box of Fig 2. Creation mirrors the real flow where the MPI
-// communicator bootstraps the CCL unique id.
+// communicator bootstraps the CCL unique id: every rank rendezvouses on
+// the Runtime.pending entry, the last distinct rank performs the creation
+// (ncclCommInitAll), and all waiters observe the same communicators or
+// the same error. A failed creation is not cached — the next collective
+// wave rendezvouses again, so a transient comm-init fault heals.
 func (x *Comm) cclComm() (*ccl.Comm, error) {
 	rt := x.rt
 	key := fmt.Sprintf("%d/%s", x.mpi.ContextID(), rt.kind)
-	comms, ok := rt.cache[key]
-	if !ok {
-		devs := make([]*device.Device, x.Size())
-		for r := range devs {
-			devs[r] = x.mpi.RankDevice(r)
-		}
-		var err error
-		comms, err = newBackendComms(rt.kind, x.mpi.Job().Fabric(), devs)
-		if err != nil {
-			return nil, err
-		}
-		// Backend-level instrumentation (launches, group fusion, transfer
-		// bytes) reports into the same registry as the dispatch metrics.
-		if rt.opts.Metrics != nil && len(comms) > 0 {
-			comms[0].SetMetrics(rt.opts.Metrics)
-		}
-		rt.cache[key] = comms
+	if comms, ok := rt.cache[key]; ok {
+		return comms[x.Rank()], nil
 	}
-	return comms[x.Rank()], nil
+	ci, ok := rt.pending[key]
+	if !ok {
+		ci = &commInit{
+			seen:  make(map[int]bool),
+			ready: sim.NewEvent(x.mpi.Proc().Kernel()),
+		}
+		rt.pending[key] = ci
+	}
+	// Count distinct ranks, not arrivals: concurrent nonblocking
+	// collectives may bring the same rank here twice before creation.
+	if !ci.seen[x.Rank()] {
+		ci.seen[x.Rank()] = true
+		if len(ci.seen) == x.Size() {
+			devs := make([]*device.Device, x.Size())
+			for r := range devs {
+				devs[r] = x.mpi.RankDevice(r)
+			}
+			comms, err := newBackendComms(rt.kind, x.mpi.Job().Fabric(), devs)
+			if err != nil {
+				ci.err = err
+			} else {
+				// Backend-level instrumentation (launches, group fusion,
+				// transfer bytes) reports into the same registry as the
+				// dispatch metrics.
+				if rt.opts.Metrics != nil && len(comms) > 0 {
+					comms[0].SetMetrics(rt.opts.Metrics)
+				}
+				ci.comms = comms
+				rt.cache[key] = comms
+			}
+			delete(rt.pending, key)
+			ci.ready.Fire()
+		}
+	}
+	ci.ready.Wait(x.mpi.Proc())
+	if ci.err != nil {
+		return nil, ci.err
+	}
+	return ci.comms[x.Rank()], nil
 }
 
 // decision is the outcome of the dispatch logic for one call.
@@ -144,14 +172,30 @@ func (x *Comm) decide(op OpKind, bytes int64, dt mpi.Datatype, rop *mpi.Op, bufs
 
 // runCCL executes fn against the cached CCL communicator and this rank's
 // stream, blocking until the enqueued work completes (MPI semantics). A
-// CCL error falls back to nothing here — the caller handles it.
+// CCL error falls back to nothing here — the caller handles it (and may
+// retry: a failed group call is aborted so the retry starts clean).
 func (x *Comm) runCCL(fn func(cc *ccl.Comm, s *device.Stream) error) error {
 	cc, err := x.cclComm()
 	if err != nil {
 		return err
 	}
+	// React to an active link-degradation window: drive fewer fabric
+	// channels so concurrent flows keep a fair share of the shrunken
+	// pool. Cleared again once the window passes.
+	if !x.rt.policy.Disabled {
+		if lf, ok := x.mpi.Job().Fabric().DegradedNow(x.mpi.Proc().Now()); ok {
+			budget := lf.ChannelCap
+			if budget <= 0 {
+				budget = (cc.Config().Channels + 1) / 2
+			}
+			cc.SetChannelCap(budget)
+		} else if cc.ChannelCap() != 0 {
+			cc.SetChannelCap(0)
+		}
+	}
 	s := x.rt.stream(x.mpi.WorldRank(), x.Device())
 	if err := fn(cc, s); err != nil {
+		cc.GroupAbort()
 		return err
 	}
 	s.Synchronize(x.mpi.Proc())

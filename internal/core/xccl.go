@@ -138,6 +138,11 @@ const LegacyNCCL = BackendKind(legacy)
 type Stats struct {
 	// CCLOps and MPIOps count operations executed on each path.
 	CCLOps, MPIOps int
+	// Retries counts CCL-path reissues of transient failures.
+	Retries int
+	// BreakerSkips counts CCL dispatches suppressed by an open circuit
+	// breaker (the operations ride the MPI path without trying the CCL).
+	BreakerSkips int
 	// Fallbacks counts MPI fallbacks by cause.
 	Fallbacks struct {
 		Datatype, Op, Device, HostBuffer, Error int
@@ -161,6 +166,9 @@ type Options struct {
 	// communicators this runtime creates. Do not also Mirror the same
 	// registry into Trace, or operations count twice.
 	Metrics *metrics.Registry
+	// Resilience tunes the retry/circuit-breaker/degradation policy; nil
+	// uses DefaultResilience().
+	Resilience *Resilience
 }
 
 // Runtime is the per-job xCCL state: backend choice, communicator cache,
@@ -176,13 +184,23 @@ type Runtime struct {
 	streams map[int]*device.Stream // world rank -> stream
 	cache   map[string][]*ccl.Comm // comm cache key -> per-local-rank CCL comms
 	pending map[string]*commInit   // in-flight collective comm creation
+
+	policy   *Resilience              // resolved resilience policy (never nil)
+	breakers map[breakerKey]*breaker  // per-(backend, op) circuit breakers
+	waves    map[waveKey]*waveVerdict // in-flight wave-consistent verdicts
+	waveIdx  map[rankKey]int          // per-rank collective call indices
 }
 
+// commInit is one in-flight CCL communicator creation: ranks rendezvous
+// here (like the MPI-bootstrapped ncclCommInitRank exchange), the last
+// distinct rank performs the creation, and everyone observes the same
+// comms or the same error. A failed init is not cached, so a later
+// collective wave retries it.
 type commInit struct {
-	arrived int
-	ready   *sim.Event
-	comms   []*ccl.Comm
-	err     error
+	seen  map[int]bool // distinct ranks arrived at the rendezvous
+	ready *sim.Event
+	comms []*ccl.Comm
+	err   error
 }
 
 // NewRuntime builds the xCCL layer for a job. With Backend Auto the CCL is
@@ -190,11 +208,18 @@ type commInit struct {
 // Table the built-in table for (system, backend) is used.
 func NewRuntime(job *mpi.Job, opts Options) (*Runtime, error) {
 	rt := &Runtime{
-		job:     job,
-		opts:    opts,
-		streams: make(map[int]*device.Stream),
-		cache:   make(map[string][]*ccl.Comm),
-		pending: make(map[string]*commInit),
+		job:      job,
+		opts:     opts,
+		streams:  make(map[int]*device.Stream),
+		cache:    make(map[string][]*ccl.Comm),
+		pending:  make(map[string]*commInit),
+		breakers: make(map[breakerKey]*breaker),
+		waves:    make(map[waveKey]*waveVerdict),
+		waveIdx:  make(map[rankKey]int),
+	}
+	rt.policy = opts.Resilience
+	if rt.policy == nil {
+		rt.policy = DefaultResilience()
 	}
 	if opts.Mode != PureMPI {
 		kind, err := backendFor(opts.Backend, job.Fabric().System().Device(0).Kind)
@@ -209,12 +234,17 @@ func NewRuntime(job *mpi.Job, opts Options) (*Runtime, error) {
 		rt.table = DefaultTableFor(sys.Name, rt.kind, sys.NumNodes() > 1)
 	}
 	// One registry observes the whole stack: the MPI runtime's protocol
-	// counters ride the same sink as the xCCL dispatch metrics.
+	// counters and the fabric's degraded-transfer counter ride the same
+	// sink as the xCCL dispatch metrics.
 	if opts.Metrics != nil {
 		job.SetMetrics(opts.Metrics)
+		job.Fabric().SetMetrics(opts.Metrics)
 	}
 	return rt, nil
 }
+
+// Resilience returns the active (resolved) resilience policy.
+func (rt *Runtime) Resilience() *Resilience { return rt.policy }
 
 // Metrics returns the runtime's registry (nil when none was wired).
 func (rt *Runtime) Metrics() *metrics.Registry { return rt.opts.Metrics }

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"mpixccl/internal/device"
+	"mpixccl/internal/metrics"
 	"mpixccl/internal/sim"
 	"mpixccl/internal/topology"
 )
@@ -37,6 +38,30 @@ type Opts struct {
 	NoCopy bool
 }
 
+// LinkFault is one active degradation of a route, applied for the whole
+// duration of a transfer that starts inside its window. Zero fields leave
+// the corresponding parameter unchanged.
+type LinkFault struct {
+	// BWScale multiplies each channel's bandwidth (0 < s ≤ 1 degrades).
+	BWScale float64
+	// AlphaScale multiplies the link's per-message latency (> 1 degrades).
+	AlphaScale float64
+	// ChannelCap bounds the channels one transfer may drive.
+	ChannelCap int
+}
+
+// Degrader is the link-fault hook (implemented by fault.Plan): the fabric
+// consults it per transfer for an active degradation window.
+type Degrader interface {
+	// DegradedLink reports the degradation for a route of the given class
+	// ("intra", "inter", "host") between two nodes at virtual time now.
+	DegradedLink(class string, srcNode, dstNode int, now time.Duration) (LinkFault, bool)
+	// DegradedNow reports whether any link degradation is active at now —
+	// the aggregate signal the dispatch layer reacts to — with the
+	// composed fault of all active windows.
+	DegradedNow(now time.Duration) (LinkFault, bool)
+}
+
 // Fabric prices and executes transfers over one system's links.
 type Fabric struct {
 	k   *sim.Kernel
@@ -47,6 +72,36 @@ type Fabric struct {
 	egress   map[int]*sim.Resource    // per-node NIC egress pools
 	ingress  map[int]*sim.Resource    // per-node NIC ingress pools
 	hostlnk  map[int]*sim.Resource    // per-node host staging pools
+
+	faults   any      // attached fault agent (see SetFaults)
+	degrader Degrader // faults, when it implements Degrader
+	reg      *metrics.Registry
+}
+
+// SetFaults attaches a fault agent (typically a *fault.Plan) to the
+// fabric — the one ambient attachment point for a simulated world. The
+// fabric itself consults it for link degradation when it implements
+// Degrader; the CCL layer picks it up from here (via Faults) when it
+// implements ccl.Injector. Pass nil to detach.
+func (f *Fabric) SetFaults(agent any) {
+	f.faults = agent
+	f.degrader, _ = agent.(Degrader)
+}
+
+// Faults returns the attached fault agent (nil when none).
+func (f *Fabric) Faults() any { return f.faults }
+
+// SetMetrics wires a registry for fabric-level counters (degraded
+// transfers). A nil registry disables them.
+func (f *Fabric) SetMetrics(reg *metrics.Registry) { f.reg = reg }
+
+// DegradedNow reports the composed active link degradation at virtual time
+// now, or false when no degrader is attached or no window is active.
+func (f *Fabric) DegradedNow(now time.Duration) (LinkFault, bool) {
+	if f.degrader == nil {
+		return LinkFault{}, false
+	}
+	return f.degrader.DegradedNow(now)
 }
 
 // New returns a fabric for the system.
@@ -104,10 +159,13 @@ func (f *Fabric) nodePool(m map[int]*sim.Resource, node int, link topology.Link)
 
 // route describes the link class and contention pools for one transfer.
 type route struct {
-	link   topology.Link
-	pools  []*sim.Resource // acquired in order per chunk
-	local  bool            // same-device copy
-	device *device.Device  // for local copies
+	link    topology.Link
+	pools   []*sim.Resource // acquired in order per chunk
+	local   bool            // same-device copy
+	device  *device.Device  // for local copies
+	class   string          // "intra", "inter", "host" (empty for local)
+	srcNode int
+	dstNode int
 }
 
 func (f *Fabric) route(src, dst *device.Device) (route, error) {
@@ -119,19 +177,38 @@ func (f *Fabric) route(src, dst *device.Device) (route, error) {
 	}
 	if src.Node != dst.Node {
 		l := f.sys.Inter
-		return route{link: l, pools: []*sim.Resource{
-			f.nodePool(f.egress, src.Node, l),
-			f.nodePool(f.ingress, dst.Node, l),
-		}}, nil
+		return route{link: l, class: "inter", srcNode: src.Node, dstNode: dst.Node,
+			pools: []*sim.Resource{
+				f.nodePool(f.egress, src.Node, l),
+				f.nodePool(f.ingress, dst.Node, l),
+			}}, nil
 	}
 	if src.Kind == device.Host || dst.Kind == device.Host {
 		l := f.sys.HostLink
-		return route{link: l, pools: []*sim.Resource{f.nodePool(f.hostlnk, src.Node, l)}}, nil
+		return route{link: l, class: "host", srcNode: src.Node, dstNode: dst.Node,
+			pools: []*sim.Resource{f.nodePool(f.hostlnk, src.Node, l)}}, nil
 	}
-	return route{link: f.sys.Intra, pools: []*sim.Resource{
-		f.intraDirPool(src.ID, dst.ID),
-		f.intraPool(src.ID, dst.ID),
-	}}, nil
+	return route{link: f.sys.Intra, class: "intra", srcNode: src.Node, dstNode: dst.Node,
+		pools: []*sim.Resource{
+			f.intraDirPool(src.ID, dst.ID),
+			f.intraPool(src.ID, dst.ID),
+		}}, nil
+}
+
+// degradedFor reports the active fault on a route at now, counting the
+// degraded transfer when one applies.
+func (f *Fabric) degradedFor(r route, now time.Duration) (LinkFault, bool) {
+	if f.degrader == nil || r.local {
+		return LinkFault{}, false
+	}
+	lf, ok := f.degrader.DegradedLink(r.class, r.srcNode, r.dstNode, now)
+	if !ok {
+		return LinkFault{}, false
+	}
+	f.reg.Counter("xccl_degraded_transfers_total",
+		"Transfers executed over a degraded link, by link class.",
+		metrics.Labels{"link": r.class}).Inc()
+	return lf, true
 }
 
 // Latency reports the uncontended α of the path between two devices.
@@ -144,31 +221,62 @@ func (f *Fabric) Latency(src, dst *device.Device) time.Duration {
 }
 
 // Transfer moves n bytes from src to dst, blocking p for the priced time,
-// and returns the elapsed virtual duration. n must not exceed either
-// buffer's length.
+// and returns the elapsed virtual duration. It is the Must-variant of
+// TryTransfer: endpoints without a route (detached host buffers, foreign
+// devices) are caller bugs and panic. Code that can legitimately hit a
+// routing failure — e.g. under an injected topology fault — should call
+// TryTransfer and handle the error.
 func (f *Fabric) Transfer(p *sim.Proc, dst, src *device.Buffer, n int64, o Opts) time.Duration {
+	d, err := f.TryTransfer(p, dst, src, n, o)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// TryTransfer moves n bytes from src to dst, blocking p for the priced
+// time, and returns the elapsed virtual duration. It returns an error
+// (consuming no virtual time) when the endpoints have no route or the
+// length is out of bounds. Any active link-degradation window (SetFaults)
+// scales the route's α and per-channel bandwidth and caps the channel
+// grant for the whole transfer, as observed at its start time.
+func (f *Fabric) TryTransfer(p *sim.Proc, dst, src *device.Buffer, n int64, o Opts) (time.Duration, error) {
 	if n < 0 || n > src.Len() || n > dst.Len() {
-		panic(fmt.Sprintf("fabric: transfer of %d bytes between %d-byte src and %d-byte dst", n, src.Len(), dst.Len()))
+		return 0, fmt.Errorf("fabric: transfer of %d bytes between %d-byte src and %d-byte dst", n, src.Len(), dst.Len())
 	}
 	start := p.Now()
 	r, err := f.route(src.Device(), dst.Device())
 	if err != nil {
-		panic(err)
+		return 0, err
 	}
 	if r.local {
 		p.Sleep(r.device.CopyTime(n))
 		if !o.NoCopy {
 			dst.CopyFrom(src)
 		}
-		return p.Now() - start
+		return p.Now() - start, nil
 	}
-	p.Sleep(r.link.Alpha)
+	alpha := r.link.Alpha
+	bw := r.link.ChannelBW
+	maxCh := r.link.DirChannels
+	if lf, ok := f.degradedFor(r, start); ok {
+		if lf.AlphaScale > 0 {
+			alpha = time.Duration(float64(alpha) * lf.AlphaScale)
+		}
+		if lf.BWScale > 0 {
+			bw *= lf.BWScale
+		}
+		if lf.ChannelCap > 0 && lf.ChannelCap < maxCh {
+			maxCh = lf.ChannelCap
+		}
+	}
+	p.Sleep(alpha)
 	want := o.Channels
 	if want < 1 {
 		want = 1
 	}
-	if want > r.link.DirChannels {
-		want = r.link.DirChannels
+	if want > maxCh {
+		want = maxCh
 	}
 	chunk := o.ChunkBytes
 	if chunk <= 0 {
@@ -199,7 +307,7 @@ func (f *Fabric) Transfer(p *sim.Proc, dst, src *device.Buffer, n int64, o Opts)
 				granted = g
 			}
 		}
-		p.Sleep(time.Duration(float64(sz) / (float64(granted) * r.link.ChannelBW) * float64(time.Second)))
+		p.Sleep(time.Duration(float64(sz) / (float64(granted) * bw) * float64(time.Second)))
 		for _, pool := range r.pools {
 			pool.Release(granted)
 		}
@@ -207,19 +315,35 @@ func (f *Fabric) Transfer(p *sim.Proc, dst, src *device.Buffer, n int64, o Opts)
 	if !o.NoCopy && n > 0 {
 		copy(dst.Bytes()[:n], src.Bytes()[:n])
 	}
-	return p.Now() - start
+	return p.Now() - start, nil
 }
 
 // ControlMsg charges the α of one small control message (e.g. an MPI
-// rendezvous RTS/CTS envelope) between two devices' owning endpoints.
+// rendezvous RTS/CTS envelope) between two devices' owning endpoints. It
+// is the Must-variant of TryControlMsg and panics on a routing failure.
 func (f *Fabric) ControlMsg(p *sim.Proc, src, dst *device.Device) time.Duration {
-	r, err := f.route(src, dst)
+	d, err := f.TryControlMsg(p, src, dst)
 	if err != nil {
 		panic(err)
 	}
-	if r.local {
-		return 0
+	return d
+}
+
+// TryControlMsg charges the α of one control message, returning an error
+// when the endpoints have no route. Active degradation windows scale the
+// α like they do for TryTransfer.
+func (f *Fabric) TryControlMsg(p *sim.Proc, src, dst *device.Device) (time.Duration, error) {
+	r, err := f.route(src, dst)
+	if err != nil {
+		return 0, err
 	}
-	p.Sleep(r.link.Alpha)
-	return r.link.Alpha
+	if r.local {
+		return 0, nil
+	}
+	alpha := r.link.Alpha
+	if lf, ok := f.degradedFor(r, p.Now()); ok && lf.AlphaScale > 0 {
+		alpha = time.Duration(float64(alpha) * lf.AlphaScale)
+	}
+	p.Sleep(alpha)
+	return alpha, nil
 }

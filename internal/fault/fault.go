@@ -1,0 +1,341 @@
+// Package fault provides deterministic, seeded fault plans for the
+// simulated xCCL stack. A Plan is a list of declarative rules scoped by
+// backend, operation, rank, call count, virtual-time window, and
+// probability; it implements both injection hooks the runtime exposes:
+//
+//   - ccl.Injector — per-call CCL errors (transient xcclRemoteError or
+//     persistent xcclInternalError), straggler latency, and communicator-
+//     init failures. Attach with ccl.Config.Faults or ambiently with
+//     fabric.Fabric.SetFaults.
+//   - fabric.Degrader — link-degradation windows that scale a link class's
+//     α/bandwidth or cap its channel grant over a virtual-time interval.
+//     Attach with fabric.Fabric.SetFaults.
+//
+// Determinism: all probabilistic decisions come from one splitmix64 stream
+// seeded at construction, advanced once per probabilistic match, so two
+// plans with the same seed driving the same simulation fire identically.
+package fault
+
+import (
+	"sync"
+	"time"
+
+	"mpixccl/internal/ccl"
+	"mpixccl/internal/fabric"
+)
+
+// Point names the call site a Rule applies to.
+type Point int
+
+const (
+	// OpCall injects at collective and point-to-point call sites.
+	OpCall Point = iota
+	// CommInit injects at communicator creation.
+	CommInit
+)
+
+// Rule is one fault-injection rule. Zero-valued scope fields match
+// everything; a rule fires when every set field matches. A rule should
+// inject either an error (Result != Success) or straggler latency
+// (Delay > 0), not both — each is consumed by a different hook and they
+// would share one call budget.
+type Rule struct {
+	// Name labels the rule for Fired-count introspection.
+	Name string
+	// Point selects the call site (OpCall or CommInit).
+	Point Point
+	// Backend, when non-empty, must equal the backend name ("nccl", ...).
+	Backend string
+	// Op, when non-empty, must equal the lower-case operation name
+	// ("allreduce", "broadcast", "reduce", "allgather", "reducescatter",
+	// "send", "recv", "group"). Ignored for CommInit rules.
+	Op string
+	// Ranks, when non-nil, restricts the rule to these ranks.
+	Ranks []int
+	// After skips the first After otherwise-matching calls before the
+	// rule becomes eligible.
+	After int
+	// Count bounds how many times the rule fires; 0 means unbounded.
+	Count int
+	// Probability fires the rule on each eligible call with this chance;
+	// 0 means always (deterministic). Draws come from the plan's seed.
+	Probability float64
+	// Result is the CCL error to inject (ErrRemote for transient faults
+	// the dispatch layer retries, ErrInternal for persistent ones).
+	Result ccl.Result
+	// Msg overrides the injected error message.
+	Msg string
+	// Delay is straggler latency added to the rank's stream execution.
+	Delay time.Duration
+	// From/Until bound the rule to a virtual-time window. Zero Until
+	// means no end.
+	From, Until time.Duration
+}
+
+// LinkRule degrades a fabric link class over a virtual-time window.
+type LinkRule struct {
+	// Name labels the rule.
+	Name string
+	// Link, when non-empty, restricts the rule to one route class
+	// ("intra", "inter", "host").
+	Link string
+	// Nodes, when non-nil, restricts the rule to routes touching one of
+	// these nodes (as source or destination).
+	Nodes []int
+	// From/Until bound the window. Zero Until means no end.
+	From, Until time.Duration
+	// BWScale multiplies per-channel bandwidth (0 < s ≤ 1 degrades);
+	// zero leaves it unchanged.
+	BWScale float64
+	// AlphaScale multiplies link α (> 1 degrades); zero leaves it.
+	AlphaScale float64
+	// ChannelCap caps channels per transfer; zero leaves it.
+	ChannelCap int
+}
+
+type ruleState struct {
+	Rule
+	matched int // eligible calls seen (drives After)
+	fired   int // times the rule actually fired (drives Count)
+}
+
+// Plan is a seeded, concurrency-safe fault plan. The zero value is not
+// usable; construct with NewPlan.
+type Plan struct {
+	mu    sync.Mutex
+	state uint64
+	rules []*ruleState
+	links []LinkRule
+}
+
+// Compile-time hook conformance.
+var (
+	_ ccl.Injector    = (*Plan)(nil)
+	_ fabric.Degrader = (*Plan)(nil)
+)
+
+// NewPlan returns an empty plan whose probabilistic draws derive from seed.
+func NewPlan(seed uint64) *Plan {
+	return &Plan{state: seed}
+}
+
+// AddRule appends a call-site rule. Returns the plan for chaining.
+func (p *Plan) AddRule(r Rule) *Plan {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.rules = append(p.rules, &ruleState{Rule: r})
+	return p
+}
+
+// AddLinkRule appends a link-degradation window. Returns the plan.
+func (p *Plan) AddLinkRule(r LinkRule) *Plan {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.links = append(p.links, r)
+	return p
+}
+
+// Fired reports how many times the named rule(s) have fired.
+func (p *Plan) Fired(name string) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, r := range p.rules {
+		if r.Name == name {
+			n += r.fired
+		}
+	}
+	return n
+}
+
+// coin draws the next splitmix64 variate in [0, 1). Callers hold p.mu.
+func (p *Plan) coin() float64 {
+	p.state += 0x9e3779b97f4a7c15
+	z := p.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / float64(1<<53)
+}
+
+func inWindow(from, until, now time.Duration) bool {
+	return now >= from && (until == 0 || now < until)
+}
+
+func rankIn(ranks []int, rank int) bool {
+	if ranks == nil {
+		return true
+	}
+	for _, r := range ranks {
+		if r == rank {
+			return true
+		}
+	}
+	return false
+}
+
+// fire decides whether rule r fires for a matching call, advancing its
+// After/Count bookkeeping and the PRNG. Callers hold p.mu and have
+// already checked the scope fields.
+func (p *Plan) fire(r *ruleState) bool {
+	r.matched++
+	if r.matched <= r.After {
+		return false
+	}
+	if r.Count > 0 && r.fired >= r.Count {
+		return false
+	}
+	if r.Probability > 0 && r.Probability < 1 && p.coin() >= r.Probability {
+		return false
+	}
+	r.fired++
+	return true
+}
+
+func (p *Plan) matchOp(r *ruleState, backend, op string, rank int, now time.Duration) bool {
+	if r.Point != OpCall {
+		return false
+	}
+	if r.Backend != "" && r.Backend != backend {
+		return false
+	}
+	if r.Op != "" && r.Op != op {
+		return false
+	}
+	if !rankIn(r.Ranks, rank) {
+		return false
+	}
+	return inWindow(r.From, r.Until, now)
+}
+
+// OpError implements ccl.Injector: the first firing error rule wins.
+func (p *Plan) OpError(backend, op string, rank int, now time.Duration) *ccl.Error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, r := range p.rules {
+		if r.Result == ccl.Success || !p.matchOp(r, backend, op, rank, now) {
+			continue
+		}
+		if !p.fire(r) {
+			continue
+		}
+		msg := r.Msg
+		if msg == "" {
+			msg = "injected fault"
+		}
+		return &ccl.Error{Backend: backend, Result: r.Result, Msg: msg}
+	}
+	return nil
+}
+
+// OpDelay implements ccl.Injector: straggler delays of all firing delay
+// rules accumulate.
+func (p *Plan) OpDelay(backend, op string, rank int, now time.Duration) time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var d time.Duration
+	for _, r := range p.rules {
+		if r.Delay <= 0 || r.Result != ccl.Success || !p.matchOp(r, backend, op, rank, now) {
+			continue
+		}
+		if p.fire(r) {
+			d += r.Delay
+		}
+	}
+	return d
+}
+
+// CommInitError implements ccl.Injector.
+func (p *Plan) CommInitError(backend string, rank int, now time.Duration) *ccl.Error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, r := range p.rules {
+		if r.Point != CommInit || r.Result == ccl.Success {
+			continue
+		}
+		if r.Backend != "" && r.Backend != backend {
+			continue
+		}
+		if !rankIn(r.Ranks, rank) || !inWindow(r.From, r.Until, now) {
+			continue
+		}
+		if !p.fire(r) {
+			continue
+		}
+		msg := r.Msg
+		if msg == "" {
+			msg = "injected comm-init fault"
+		}
+		return &ccl.Error{Backend: backend, Result: r.Result, Msg: msg}
+	}
+	return nil
+}
+
+func nodeIn(nodes []int, src, dst int) bool {
+	if nodes == nil {
+		return true
+	}
+	for _, n := range nodes {
+		if n == src || n == dst {
+			return true
+		}
+	}
+	return false
+}
+
+func compose(lf fabric.LinkFault, r LinkRule) fabric.LinkFault {
+	if r.BWScale > 0 {
+		if lf.BWScale == 0 {
+			lf.BWScale = 1
+		}
+		lf.BWScale *= r.BWScale
+	}
+	if r.AlphaScale > 0 {
+		if lf.AlphaScale == 0 {
+			lf.AlphaScale = 1
+		}
+		lf.AlphaScale *= r.AlphaScale
+	}
+	if r.ChannelCap > 0 && (lf.ChannelCap == 0 || r.ChannelCap < lf.ChannelCap) {
+		lf.ChannelCap = r.ChannelCap
+	}
+	return lf
+}
+
+// DegradedLink implements fabric.Degrader: all windows active for the
+// route at now compose (scales multiply, the tightest channel cap wins).
+func (p *Plan) DegradedLink(class string, srcNode, dstNode int, now time.Duration) (fabric.LinkFault, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var lf fabric.LinkFault
+	hit := false
+	for _, r := range p.links {
+		if r.Link != "" && r.Link != class {
+			continue
+		}
+		if !nodeIn(r.Nodes, srcNode, dstNode) || !inWindow(r.From, r.Until, now) {
+			continue
+		}
+		lf = compose(lf, r)
+		hit = true
+	}
+	return lf, hit
+}
+
+// DegradedNow implements fabric.Degrader: the composition of every window
+// active at now, regardless of class or nodes — the aggregate signal the
+// dispatch layer uses to shrink its channel budget.
+func (p *Plan) DegradedNow(now time.Duration) (fabric.LinkFault, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var lf fabric.LinkFault
+	hit := false
+	for _, r := range p.links {
+		if !inWindow(r.From, r.Until, now) {
+			continue
+		}
+		lf = compose(lf, r)
+		hit = true
+	}
+	return lf, hit
+}

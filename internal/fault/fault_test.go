@@ -1,0 +1,201 @@
+package fault
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"mpixccl/internal/ccl"
+)
+
+func TestRuleScoping(t *testing.T) {
+	p := NewPlan(1)
+	p.AddRule(Rule{Name: "scoped", Backend: "nccl", Op: "allreduce",
+		Ranks: []int{2}, Result: ccl.ErrInternal})
+
+	if e := p.OpError("rccl", "allreduce", 2, 0); e != nil {
+		t.Errorf("wrong backend fired: %v", e)
+	}
+	if e := p.OpError("nccl", "bcast", 2, 0); e != nil {
+		t.Errorf("wrong op fired: %v", e)
+	}
+	if e := p.OpError("nccl", "allreduce", 1, 0); e != nil {
+		t.Errorf("wrong rank fired: %v", e)
+	}
+	e := p.OpError("nccl", "allreduce", 2, 0)
+	if e == nil || e.Result != ccl.ErrInternal {
+		t.Fatalf("scoped rule did not fire: %v", e)
+	}
+	if got := p.Fired("scoped"); got != 1 {
+		t.Errorf("fired = %d, want 1", got)
+	}
+}
+
+func TestAfterAndCountBudget(t *testing.T) {
+	p := NewPlan(1)
+	p.AddRule(Rule{Name: "burst", Op: "send", Result: ccl.ErrRemote, After: 2, Count: 3})
+
+	var fires []bool
+	for i := 0; i < 8; i++ {
+		fires = append(fires, p.OpError("nccl", "send", 0, 0) != nil)
+	}
+	want := []bool{false, false, true, true, true, false, false, false}
+	for i := range want {
+		if fires[i] != want[i] {
+			t.Fatalf("call %d fired=%v, want %v (After=2 skips two, Count=3 bounds)", i, fires[i], want[i])
+		}
+	}
+}
+
+func TestTimeWindow(t *testing.T) {
+	p := NewPlan(1)
+	p.AddRule(Rule{Name: "window", Op: "recv", Result: ccl.ErrInternal,
+		From: 10 * time.Microsecond, Until: 20 * time.Microsecond})
+
+	if e := p.OpError("nccl", "recv", 0, 5*time.Microsecond); e != nil {
+		t.Error("fired before the window")
+	}
+	if e := p.OpError("nccl", "recv", 0, 15*time.Microsecond); e == nil {
+		t.Error("did not fire inside the window")
+	}
+	if e := p.OpError("nccl", "recv", 0, 25*time.Microsecond); e != nil {
+		t.Error("fired after the window")
+	}
+}
+
+func TestProbabilityIsSeedDeterministic(t *testing.T) {
+	pattern := func(seed uint64) []bool {
+		p := NewPlan(seed)
+		p.AddRule(Rule{Name: "coin", Op: "allreduce", Result: ccl.ErrRemote, Probability: 0.5})
+		var out []bool
+		for i := 0; i < 64; i++ {
+			out = append(out, p.OpError("nccl", "allreduce", 0, 0) != nil)
+		}
+		return out
+	}
+	a, b := pattern(42), pattern(42)
+	fires := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at call %d", i)
+		}
+		if a[i] {
+			fires++
+		}
+	}
+	// 64 p=0.5 draws: both all-fire and no-fire mean a broken PRNG.
+	if fires == 0 || fires == 64 {
+		t.Errorf("p=0.5 rule fired %d/64 times", fires)
+	}
+	c := pattern(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical fire patterns")
+	}
+}
+
+func TestDelayRulesAccumulateSeparately(t *testing.T) {
+	p := NewPlan(1)
+	p.AddRule(Rule{Name: "slow", Op: "allreduce", Ranks: []int{1}, Delay: 3 * time.Microsecond})
+	p.AddRule(Rule{Name: "slower", Op: "allreduce", Ranks: []int{1}, Delay: 4 * time.Microsecond})
+
+	if d := p.OpDelay("nccl", "allreduce", 1, 0); d != 7*time.Microsecond {
+		t.Errorf("delay = %v, want 7µs (rules accumulate)", d)
+	}
+	if d := p.OpDelay("nccl", "allreduce", 0, 0); d != 0 {
+		t.Errorf("unscoped rank delayed %v", d)
+	}
+	// Delay rules must not leak into the error hook.
+	if e := p.OpError("nccl", "allreduce", 1, 0); e != nil {
+		t.Errorf("delay rule injected an error: %v", e)
+	}
+}
+
+func TestCommInitRules(t *testing.T) {
+	p := NewPlan(1)
+	p.AddRule(Rule{Name: "init", Point: CommInit, Backend: "hccl",
+		Result: ccl.ErrInternal, Count: 1})
+
+	if e := p.CommInitError("nccl", 0, 0); e != nil {
+		t.Errorf("wrong backend failed init: %v", e)
+	}
+	if e := p.CommInitError("hccl", 0, 0); e == nil {
+		t.Error("comm-init rule did not fire")
+	}
+	if e := p.CommInitError("hccl", 0, 0); e != nil {
+		t.Errorf("count budget exceeded: %v", e)
+	}
+	// CommInit rules must not fire at op call sites.
+	p2 := NewPlan(1)
+	p2.AddRule(Rule{Point: CommInit, Result: ccl.ErrInternal})
+	if e := p2.OpError("hccl", "allreduce", 0, 0); e != nil {
+		t.Errorf("comm-init rule fired at an op call: %v", e)
+	}
+}
+
+func TestLinkWindowsCompose(t *testing.T) {
+	p := NewPlan(1)
+	p.AddLinkRule(LinkRule{Name: "a", Link: "inter", BWScale: 0.5, ChannelCap: 8,
+		Until: 100 * time.Microsecond})
+	p.AddLinkRule(LinkRule{Name: "b", Link: "inter", Nodes: []int{3},
+		BWScale: 0.5, AlphaScale: 2, ChannelCap: 4})
+
+	// Both windows active for a node-3 route: scales multiply, tightest cap.
+	lf, ok := p.DegradedLink("inter", 0, 3, 50*time.Microsecond)
+	if !ok || lf.BWScale != 0.25 || lf.AlphaScale != 2 || lf.ChannelCap != 4 {
+		t.Fatalf("composed fault = %+v (ok %v)", lf, ok)
+	}
+	// Node scope: a route not touching node 3 only sees rule a.
+	lf, ok = p.DegradedLink("inter", 0, 1, 50*time.Microsecond)
+	if !ok || lf.BWScale != 0.5 || lf.ChannelCap != 8 || lf.AlphaScale != 0 {
+		t.Fatalf("node-scoped fault = %+v (ok %v)", lf, ok)
+	}
+	// Class scope.
+	if _, ok := p.DegradedLink("intra", 0, 3, 0); ok {
+		t.Error("inter rules degraded an intra route")
+	}
+	// Window expiry: after rule a ends only rule b remains.
+	lf, ok = p.DegradedLink("inter", 3, 0, 200*time.Microsecond)
+	if !ok || lf.BWScale != 0.5 || lf.AlphaScale != 2 {
+		t.Fatalf("post-window fault = %+v (ok %v)", lf, ok)
+	}
+	// DegradedNow ignores class/node scope: the aggregate signal.
+	if _, ok := p.DegradedNow(50 * time.Microsecond); !ok {
+		t.Error("DegradedNow missed active windows")
+	}
+	p2 := NewPlan(1)
+	if _, ok := p2.DegradedNow(0); ok {
+		t.Error("empty plan reported degradation")
+	}
+}
+
+// The plan must be safe under concurrent callers (go test -race exercises
+// this): rule state and the PRNG share one mutex.
+func TestConcurrentAccess(t *testing.T) {
+	p := NewPlan(1)
+	p.AddRule(Rule{Name: "any", Result: ccl.ErrRemote, Probability: 0.5})
+	p.AddLinkRule(LinkRule{Name: "lnk", BWScale: 0.5})
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				p.OpError("nccl", "allreduce", rank, time.Duration(i))
+				p.OpDelay("nccl", "allreduce", rank, time.Duration(i))
+				p.CommInitError("nccl", rank, time.Duration(i))
+				p.DegradedLink("intra", 0, 1, time.Duration(i))
+				p.DegradedNow(time.Duration(i))
+				p.Fired("any")
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -78,6 +78,13 @@ type Config struct {
 	// counters (dispatch paths, fallbacks, protocol choices, CCL launches)
 	// into the registry for post-run inspection.
 	Metrics *metrics.Registry
+	// Faults, when non-nil, is a fault agent (typically a *fault.Plan)
+	// attached to the run's fabric: CCL call/comm-init injection plus
+	// link-degradation windows.
+	Faults any
+	// Resilience overrides the xCCL runtime's retry/breaker policy
+	// (hybrid and pure-xccl stacks); nil uses the defaults.
+	Resilience *core.Resilience
 }
 
 func (c *Config) fillDefaults() {
@@ -142,7 +149,14 @@ func buildWorld(cfg *Config) (*world, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &world{k: k, sys: sys, fab: fabric.New(k, sys)}, nil
+	fab := fabric.New(k, sys)
+	if cfg.Faults != nil {
+		fab.SetFaults(cfg.Faults)
+	}
+	if cfg.Metrics != nil {
+		fab.SetMetrics(cfg.Metrics)
+	}
+	return &world{k: k, sys: sys, fab: fab}, nil
 }
 
 func (cfg *Config) ranks(sys *topology.System) int {
@@ -228,7 +242,7 @@ func launchCollective(cfg *Config, w *world, nranks int, body func(d *collDriver
 		}
 		job := mpi.NewJobOnSystem(w.fab, mpi.MVAPICHProfile(), w.sys, nranks)
 		rt, err := core.NewRuntime(job, core.Options{Backend: cfg.Backend, Mode: mode,
-			Table: cfg.Table, Metrics: cfg.Metrics})
+			Table: cfg.Table, Metrics: cfg.Metrics, Resilience: cfg.Resilience})
 		if err != nil {
 			return err
 		}

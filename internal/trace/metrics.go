@@ -17,12 +17,20 @@ const (
 	// MetricOpLatency is the per-op virtual-latency histogram (seconds),
 	// labeled by (op, path).
 	MetricOpLatency = "xccl_op_latency_seconds"
+	// MetricEvents counts resilience events (retries, breaker transitions)
+	// per (event, op, backend).
+	MetricEvents = "xccl_events_total"
 )
 
 // RecordMetrics feeds one record's aggregates into reg: the op counter, the
 // byte counter, and the latency histogram. Safe on a nil registry.
 func RecordMetrics(reg *metrics.Registry, rec Record) {
 	if reg == nil {
+		return
+	}
+	if rec.Event != "" {
+		reg.Counter(MetricEvents, "Resilience events (retries, breaker transitions).",
+			metrics.Labels{"event": rec.Event, "op": rec.Op, "backend": rec.Backend}).Inc()
 		return
 	}
 	reg.Counter(MetricOps, "Collective operations by dispatch path.", metrics.Labels{

@@ -14,21 +14,27 @@ import (
 	"mpixccl/internal/metrics"
 )
 
-// Record is one completed operation.
+// Record is one completed operation, or — when Event is set — one
+// resilience event (a retry, a breaker transition) on the same timeline.
 type Record struct {
 	// Op names the operation, e.g. "allreduce".
 	Op string
-	// Path names the executor, e.g. "ccl", "mpi".
+	// Path names the executor, e.g. "ccl", "mpi". Empty for events.
 	Path string
 	// Backend names the library, e.g. "nccl-2.18.3".
 	Backend string
-	// Rank is the calling rank.
+	// Rank is the calling rank; runtime-scoped events use -1.
 	Rank int
 	// Bytes is the payload size.
 	Bytes int64
 	// Start is the virtual start time; Duration the elapsed virtual time.
 	Start    time.Duration
 	Duration time.Duration
+	// Event, when non-empty, marks a resilience event ("retry",
+	// "breaker_open", "breaker_half_open", "breaker_closed") instead of a
+	// completed operation: it aggregates into MetricEvents, not the op
+	// counters.
+	Event string
 }
 
 // Recorder accumulates records. The zero value is ready to use; a nil
@@ -89,6 +95,9 @@ func (r *Recorder) Summarize() []Summary {
 	}
 	agg := map[[2]string]*Summary{}
 	for _, rec := range r.records {
+		if rec.Event != "" {
+			continue
+		}
 		key := [2]string{rec.Op, rec.Path}
 		s, ok := agg[key]
 		if !ok {
@@ -115,14 +124,18 @@ func (r *Recorder) Summarize() []Summary {
 	return out
 }
 
-// Dump writes a human-readable timeline to w (rank-0 records only, to keep
-// SPMD output readable).
+// Dump writes a human-readable timeline to w (rank-0 and runtime-scoped
+// records only, to keep SPMD output readable).
 func (r *Recorder) Dump(w io.Writer) {
 	if r == nil {
 		return
 	}
 	for _, rec := range r.records {
-		if rec.Rank != 0 {
+		if rec.Rank > 0 {
+			continue
+		}
+		if rec.Event != "" {
+			fmt.Fprintf(w, "%12v  %-14s !%s %s\n", rec.Start, rec.Op, rec.Event, rec.Backend)
 			continue
 		}
 		fmt.Fprintf(w, "%12v  %-14s %-4s %-14s %10d B  %v\n",

@@ -12,4 +12,7 @@ fi
 go vet ./...
 go build ./...
 go test ./...
+# The packages whose state is shared across sim procs (or any caller):
+# re-run under the race detector.
+go test -race mpixccl/internal/metrics mpixccl/internal/sim mpixccl/internal/fault
 echo "check.sh: all clean"
