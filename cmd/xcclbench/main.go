@@ -5,21 +5,34 @@
 //
 //	xcclbench -exp fig5            # one experiment, quick scale
 //	xcclbench -exp all -scale full # the paper's full configurations
+//	xcclbench -exp all -parallel 1 # force a serial run
 //	xcclbench -list                # enumerate experiment ids
 //
 // Experiment ids follow the paper: table1, fig1a, fig1b, fig3, fig4, fig5,
 // fig6, fig7, fig8, fig9, fig10.
 //
+// Independent experiments run concurrently across a worker pool (one worker
+// per CPU by default; bound it with -parallel N). Each experiment owns its
+// own simulation kernel, so virtual-time results are identical to a serial
+// run and are printed in paper order regardless of completion order.
+//
 // With -metrics <file>, runtime counters and latency histograms gathered
 // across every experiment run (dispatch paths, fallbacks, tuning-table
 // hits, CCL launches, MPI protocol choices) are written to <file> in
 // Prometheus text format; "-" writes to stdout.
+//
+// With -cpuprofile/-memprofile <file>, pprof profiles of the run are
+// written for use with `go tool pprof`. Experiment goroutines are tagged
+// with an {experiment: id} pprof label, so per-experiment CPU cost can be
+// split out with pprof's tagfocus/tagshow options.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"mpixccl/internal/experiments"
@@ -30,8 +43,11 @@ func main() {
 	exp := flag.String("exp", "all", "experiment id (or 'all')")
 	scaleFlag := flag.String("scale", "quick", "quick or full (paper-size node counts and sweeps)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	parallel := flag.Int("parallel", 0, "max experiments in flight (0 = one per CPU, 1 = serial)")
 	metricsFile := flag.String("metrics", "",
 		"write accumulated runtime metrics to this file in Prometheus text format ('-' for stdout)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
 
 	if *list {
@@ -49,6 +65,18 @@ func main() {
 		fmt.Fprintf(os.Stderr, "xcclbench: unknown scale %q (want quick or full)\n", *scaleFlag)
 		os.Exit(2)
 	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xcclbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "xcclbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 	var reg *metrics.Registry
 	if *metricsFile != "" {
 		reg = metrics.NewRegistry()
@@ -57,21 +85,39 @@ func main() {
 	if *exp == "all" {
 		ids = experiments.IDs()
 	}
-	for _, id := range ids {
-		start := time.Now()
-		out, err := experiments.RunWith(id, scale, reg)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "xcclbench: %s: %v\n", id, err)
-			os.Exit(1)
+	start := time.Now()
+	results := experiments.RunAll(ids, scale, reg, *parallel)
+	failed := false
+	for _, r := range results {
+		if r.Err != nil {
+			fmt.Fprintf(os.Stderr, "xcclbench: %s: %v\n", r.ID, r.Err)
+			failed = true
+			continue
 		}
-		fmt.Print(out)
-		fmt.Printf("(%s regenerated in %v wall time)\n\n", id, time.Since(start).Round(time.Millisecond))
+		fmt.Print(r.Output)
+		fmt.Printf("(%s regenerated in %v wall time)\n\n", r.ID, r.Wall.Round(time.Millisecond))
+	}
+	if len(ids) > 1 {
+		fmt.Printf("(%d experiments in %v total wall time)\n", len(ids), time.Since(start).Round(time.Millisecond))
 	}
 	if reg != nil {
 		if err := writeMetrics(reg, *metricsFile); err != nil {
 			fmt.Fprintf(os.Stderr, "xcclbench: %v\n", err)
-			os.Exit(1)
+			failed = true
 		}
+	}
+	if *memProfile != "" {
+		if err := writeMemProfile(*memProfile); err != nil {
+			fmt.Fprintf(os.Stderr, "xcclbench: %v\n", err)
+			failed = true
+		}
+	}
+	if failed {
+		// Flush the CPU profile before exiting: os.Exit skips defers.
+		if *cpuProfile != "" {
+			pprof.StopCPUProfile()
+		}
+		os.Exit(1)
 	}
 }
 
@@ -84,6 +130,19 @@ func writeMetrics(reg *metrics.Registry, path string) error {
 		return err
 	}
 	if err := reg.WritePrometheus(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func writeMemProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC() // settle live-heap accounting before the snapshot
+	if err := pprof.WriteHeapProfile(f); err != nil {
 		f.Close()
 		return err
 	}

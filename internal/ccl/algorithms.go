@@ -309,7 +309,7 @@ func (rc *runCtx) treeReduce(dt Datatype, op RedOp, count int, root int) {
 	a := rc.st.args[rc.rank]
 	esz := int64(dt.Size())
 	bytes := int64(count) * esz
-	acc := rc.dev().MustMalloc(bytes)
+	acc := rc.dev().MustMallocScratch(bytes) // fully written by the copy below
 	defer acc.Free()
 	rc.localCopy(acc, a.send, bytes)
 	n := rc.co.n
@@ -376,7 +376,7 @@ func (rc *runCtx) ringReduceScatter(dt Datatype, op RedOp, recvCount int) {
 	n := rc.co.n
 	esz := int64(dt.Size())
 	blk := int64(recvCount) * esz
-	work := rc.dev().MustMalloc(blk * int64(n))
+	work := rc.dev().MustMallocScratch(blk * int64(n)) // fully written by the copy below
 	defer work.Free()
 	rc.localCopy(work, a.send, blk*int64(n))
 	if n > 1 {

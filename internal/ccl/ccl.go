@@ -51,13 +51,20 @@ var cclTypeInfo = map[Datatype]struct {
 	Float64: {"xcclFloat64", 8},
 }
 
-// Size returns the element size in bytes.
+// Size returns the element size in bytes. It is consulted on every
+// collective validation and algorithm step, so it avoids the map lookup.
 func (d Datatype) Size() int {
-	info, ok := cclTypeInfo[d]
-	if !ok {
-		panic(fmt.Sprintf("ccl: unknown datatype %d", int(d)))
+	switch d {
+	case Int8:
+		return 1
+	case Float16:
+		return 2
+	case Int32, Float32:
+		return 4
+	case Int64, Float64:
+		return 8
 	}
-	return info.size
+	panic(fmt.Sprintf("ccl: unknown datatype %d", int(d)))
 }
 
 // String returns the xccl constant name.

@@ -24,6 +24,41 @@ type core struct {
 	split   *splitState                    // in-flight CommSplit rendezvous
 	reg     *metrics.Registry              // nil = no instrumentation
 	chanCap int                            // 0 = no cap; see SetChannelCap
+
+	// Capability sets flattened from cfg's maps at init: validate runs on
+	// every operation of every rank, so the per-call map lookups are cached.
+	dtOK [int(Float64) + 1]bool
+	opOK [int(Min) + 1]bool
+
+	putNames map[[2]int]string // memoized putAsync process names
+}
+
+// supportsDatatype is the cached form of cfg.Datatypes[dt].
+func (co *core) supportsDatatype(dt Datatype) bool {
+	if i := int(dt); i >= 0 && i < len(co.dtOK) {
+		return co.dtOK[i]
+	}
+	return false
+}
+
+// supportsOp is the cached form of cfg.Ops[op].
+func (co *core) supportsOp(op RedOp) bool {
+	if i := int(op); i >= 0 && i < len(co.opOK) {
+		return co.opOK[i]
+	}
+	return false
+}
+
+// putName memoizes the helper-process name for a (from, to) put, keeping
+// fmt.Sprintf off the per-step spawn path of ring and tree algorithms.
+func (co *core) putName(from, to int) string {
+	key := [2]int{from, to}
+	if n, ok := co.putNames[key]; ok {
+		return n
+	}
+	n := fmt.Sprintf("%s/put/r%d-%d", co.cfg.Name, from, to)
+	co.putNames[key] = n
+	return n
 }
 
 // SetMetrics wires a registry into the communicator (shared by every rank
@@ -127,8 +162,19 @@ func NewComms(fab *fabric.Fabric, devs []*device.Device, cfg Config) ([]*Comm, e
 	}
 	co := &core{
 		cfg: cfg, fab: fab, devs: devs, n: len(devs), faults: inj,
-		ops:     make(map[int]*opState),
-		p2pPost: make(map[[2]int]*sim.Chan[*p2pSlot]),
+		ops:      make(map[int]*opState),
+		p2pPost:  make(map[[2]int]*sim.Chan[*p2pSlot]),
+		putNames: make(map[[2]int]string),
+	}
+	for dt, ok := range cfg.Datatypes {
+		if i := int(dt); i >= 0 && i < len(co.dtOK) {
+			co.dtOK[i] = ok
+		}
+	}
+	for op, ok := range cfg.Ops {
+		if i := int(op); i >= 0 && i < len(co.opOK) {
+			co.opOK[i] = ok
+		}
 	}
 	comms := make([]*Comm, len(devs))
 	for r := range devs {
@@ -236,7 +282,7 @@ func (st *opState) pipe(co *core, from, to int, slotBytes int64) *pipe {
 			slots:  make([]*device.Buffer, pipeSlots),
 		}
 		for i := range pp.slots {
-			pp.slots[i] = co.devs[to].MustMalloc(slotBytes)
+			pp.slots[i] = co.devs[to].MustMallocScratch(slotBytes)
 			pp.credit.TrySend(i)
 		}
 		st.pipes[key] = pp
@@ -283,7 +329,7 @@ func (rc *runCtx) xfer(dst, src *device.Buffer, n int64) {
 func (rc *runCtx) putAsync(to int, src *device.Buffer, n int64, slotBytes int64) *sim.Counter {
 	k := rc.p.Kernel()
 	done := sim.NewCounter(k, 1)
-	k.Spawn(fmt.Sprintf("%s/put/r%d-%d", rc.co.cfg.Name, rc.rank, to), func(p *sim.Proc) {
+	k.Spawn(rc.co.putName(rc.rank, to), func(p *sim.Proc) {
 		sub := &runCtx{co: rc.co, st: rc.st, rank: rc.rank, p: p}
 		sub.put(to, src, n, slotBytes)
 		done.Done()
@@ -369,11 +415,11 @@ func (c *Comm) validate(opName string, send, recv *device.Buffer, count int, dt 
 	if count < 0 {
 		return &Error{Backend: cfg.Name, Result: ErrInvalidArgument, Msg: "negative count"}
 	}
-	if !cfg.Datatypes[dt] {
+	if !c.core.supportsDatatype(dt) {
 		return &Error{Backend: cfg.Name, Result: ErrUnsupportedDatatype,
 			Msg: fmt.Sprintf("datatype %v not supported", dt)}
 	}
-	if op != nil && !cfg.Ops[*op] {
+	if op != nil && !c.core.supportsOp(*op) {
 		return &Error{Backend: cfg.Name, Result: ErrUnsupportedOp,
 			Msg: fmt.Sprintf("reduction %v not supported", *op)}
 	}

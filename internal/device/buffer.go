@@ -11,9 +11,11 @@ import (
 // accessors interpret the bytes as little-endian scalars, matching what a
 // real GPU buffer of float32/float64/int32/... would hold.
 type Buffer struct {
-	dev   *Device // nil for detached host scratch buffers
-	data  []byte
-	freed bool
+	dev      *Device // nil for detached host scratch buffers
+	data     []byte
+	freed    bool
+	view     bool // slice of another buffer; never recycled
+	recycled bool // backed by a reused block (contents undefined for scratch)
 }
 
 // NewHostBuffer allocates an unmanaged host buffer (no device accounting).
@@ -43,7 +45,7 @@ func (b *Buffer) Slice(off, n int64) *Buffer {
 	if off < 0 || n < 0 || off+n > int64(len(b.data)) {
 		panic(fmt.Sprintf("device: slice [%d,%d) out of range of %d-byte buffer", off, off+n, len(b.data)))
 	}
-	return &Buffer{dev: b.dev, data: b.data[off : off+n]}
+	return &Buffer{dev: b.dev, data: b.data[off : off+n], view: true}
 }
 
 // Free releases the allocation back to the device. Freeing a slice view or
@@ -57,6 +59,9 @@ func (b *Buffer) Free() {
 		b.dev.allocated -= int64(len(b.data))
 		if b.dev.allocated < 0 {
 			b.dev.allocated = 0
+		}
+		if !b.view {
+			b.dev.recycle(b.data)
 		}
 	}
 	b.data = nil

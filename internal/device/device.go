@@ -101,6 +101,7 @@ type Device struct {
 	k         *sim.Kernel
 	allocated int64
 	streams   []*Stream
+	pool      map[int64][][]byte // freed blocks by exact size, reused by Malloc*
 }
 
 // New creates a device on the given kernel. Most callers build devices
@@ -131,8 +132,23 @@ func (e *OutOfMemoryError) Error() string {
 	return fmt.Sprintf("device %s: out of memory: requested %d bytes, %d free", e.Device, e.Requested, e.Free)
 }
 
-// Malloc allocates a device buffer of n bytes, zero-initialized.
+// Malloc allocates a device buffer of n bytes, zero-initialized. Freed
+// blocks of the same size are recycled (and re-zeroed) before new host
+// memory is reserved.
 func (d *Device) Malloc(n int64) (*Buffer, error) {
+	b, err := d.MallocScratch(n)
+	if b != nil && b.recycled {
+		clear(b.data)
+	}
+	return b, err
+}
+
+// MallocScratch allocates a device buffer of n bytes whose contents are
+// undefined, like cudaMalloc: a recycled block keeps its previous bytes.
+// Use it for staging buffers that are always written before they are read —
+// pipeline scratch slots, pack/unpack workspaces — where re-zeroing a
+// recycled block on every collective would dominate the allocator.
+func (d *Device) MallocScratch(n int64) (*Buffer, error) {
 	if n < 0 {
 		return nil, fmt.Errorf("device %s: negative allocation %d", d, n)
 	}
@@ -140,12 +156,39 @@ func (d *Device) Malloc(n int64) (*Buffer, error) {
 		return nil, &OutOfMemoryError{Device: d.String(), Requested: n, Free: d.MemBytes - d.allocated}
 	}
 	d.allocated += n
+	if blocks := d.pool[n]; len(blocks) > 0 {
+		data := blocks[len(blocks)-1]
+		blocks[len(blocks)-1] = nil
+		d.pool[n] = blocks[:len(blocks)-1]
+		return &Buffer{dev: d, data: data, recycled: true}, nil
+	}
 	return &Buffer{dev: d, data: make([]byte, n)}, nil
+}
+
+// recycle accepts a freed block back into the size-keyed free list.
+func (d *Device) recycle(data []byte) {
+	if len(data) == 0 {
+		return
+	}
+	if d.pool == nil {
+		d.pool = make(map[int64][][]byte)
+	}
+	n := int64(len(data))
+	d.pool[n] = append(d.pool[n], data)
 }
 
 // MustMalloc is Malloc for tests and examples where OOM is a programming error.
 func (d *Device) MustMalloc(n int64) *Buffer {
 	b, err := d.Malloc(n)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// MustMallocScratch is MallocScratch where OOM is a programming error.
+func (d *Device) MustMallocScratch(n int64) *Buffer {
+	b, err := d.MallocScratch(n)
 	if err != nil {
 		panic(err)
 	}

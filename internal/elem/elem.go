@@ -8,7 +8,37 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"unsafe"
 )
+
+// hostLittleEndian reports whether the host lays out multi-byte scalars in
+// little-endian order, in which case a []byte buffer can be reinterpreted
+// as a typed slice directly. On big-endian hosts the portable per-element
+// decode paths run instead.
+var hostLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// f32view reinterprets b as count float32s when the host is little-endian
+// and the buffer is element-aligned; it returns nil when the portable path
+// must be used. The view produces bit-identical results to the decode path —
+// it only removes the per-element byte shuffling.
+func f32view(b []byte, count int) []float32 {
+	if !hostLittleEndian || count == 0 || uintptr(unsafe.Pointer(&b[0]))%4 != 0 {
+		return nil
+	}
+	_ = b[count*4-1] // bounds check the full range up front
+	return unsafe.Slice((*float32)(unsafe.Pointer(&b[0])), count)
+}
+
+func f64view(b []byte, count int) []float64 {
+	if !hostLittleEndian || count == 0 || uintptr(unsafe.Pointer(&b[0]))%8 != 0 {
+		return nil
+	}
+	_ = b[count*8-1]
+	return unsafe.Slice((*float64)(unsafe.Pointer(&b[0])), count)
+}
 
 // Kind is a scalar element type.
 type Kind int
@@ -162,6 +192,34 @@ func Reduce(op Op, k Kind, dst, src []byte, count int) {
 }
 
 func reduceF32(op Op, dst, src []byte, count int) {
+	// Fast path: operate on typed views with the operator switch hoisted out
+	// of the loop. This is the single hottest compute kernel of every
+	// gradient allreduce.
+	if d, s := f32view(dst, count), f32view(src, count); d != nil && s != nil {
+		switch op {
+		case OpSum:
+			for i, v := range s {
+				d[i] += v
+			}
+		case OpProd:
+			for i, v := range s {
+				d[i] *= v
+			}
+		case OpMax:
+			for i, v := range s {
+				if v > d[i] {
+					d[i] = v
+				}
+			}
+		case OpMin:
+			for i, v := range s {
+				if v < d[i] {
+					d[i] = v
+				}
+			}
+		}
+		return
+	}
 	for i := 0; i < count; i++ {
 		d := math.Float32frombits(binary.LittleEndian.Uint32(dst[i*4:]))
 		s := math.Float32frombits(binary.LittleEndian.Uint32(src[i*4:]))
@@ -184,6 +242,31 @@ func reduceF32(op Op, dst, src []byte, count int) {
 }
 
 func reduceF64(op Op, dst, src []byte, count int) {
+	if d, s := f64view(dst, count), f64view(src, count); d != nil && s != nil {
+		switch op {
+		case OpSum:
+			for i, v := range s {
+				d[i] += v
+			}
+		case OpProd:
+			for i, v := range s {
+				d[i] *= v
+			}
+		case OpMax:
+			for i, v := range s {
+				if v > d[i] {
+					d[i] = v
+				}
+			}
+		case OpMin:
+			for i, v := range s {
+				if v < d[i] {
+					d[i] = v
+				}
+			}
+		}
+		return
+	}
 	for i := 0; i < count; i++ {
 		d := math.Float64frombits(binary.LittleEndian.Uint64(dst[i*8:]))
 		s := math.Float64frombits(binary.LittleEndian.Uint64(src[i*8:]))

@@ -73,6 +73,8 @@ type Fabric struct {
 	ingress  map[int]*sim.Resource    // per-node NIC ingress pools
 	hostlnk  map[int]*sim.Resource    // per-node host staging pools
 
+	routes map[[2]int]route // memoized per (src.ID, dst.ID) device pair
+
 	faults   any      // attached fault agent (see SetFaults)
 	degrader Degrader // faults, when it implements Degrader
 	reg      *metrics.Registry
@@ -113,6 +115,7 @@ func New(k *sim.Kernel, sys *topology.System) *Fabric {
 		egress:   make(map[int]*sim.Resource),
 		ingress:  make(map[int]*sim.Resource),
 		hostlnk:  make(map[int]*sim.Resource),
+		routes:   make(map[[2]int]route),
 	}
 }
 
@@ -168,10 +171,25 @@ type route struct {
 	dstNode int
 }
 
+// route resolves the link class and contention pools for a device pair,
+// memoized per (src.ID, dst.ID): transfers re-price every pipeline chunk on
+// every hop, so the pool lookups and slice build must not recur per call.
 func (f *Fabric) route(src, dst *device.Device) (route, error) {
 	if src == nil || dst == nil {
 		return route{}, fmt.Errorf("fabric: transfer endpoint has no device (use node host buffers, not detached ones)")
 	}
+	key := [2]int{src.ID, dst.ID}
+	if r, ok := f.routes[key]; ok {
+		return r, nil
+	}
+	r, err := f.buildRoute(src, dst)
+	if err == nil {
+		f.routes[key] = r
+	}
+	return r, err
+}
+
+func (f *Fabric) buildRoute(src, dst *device.Device) (route, error) {
 	if src == dst {
 		return route{local: true, device: src}, nil
 	}

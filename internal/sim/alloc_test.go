@@ -1,0 +1,109 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// These tests pin the allocation-free contract of the scheduler hot paths:
+// steady-state event scheduling, the Sleep/park/unpark cycle, channel
+// rendezvous, and Event.Fire must not allocate once their free lists and the
+// event-queue backing array are warm. A regression here does not break
+// correctness, but it puts the allocator back on the simulator's wall-clock
+// profile, which is exactly what the PR-3 overhaul removed.
+
+// warmQueue grows the event-queue backing array to at least n slots so that
+// pushes during a measurement never trigger growslice.
+func warmQueue(k *Kernel, n int) {
+	fn := func() {}
+	for i := 0; i < n; i++ {
+		k.schedule(0, fn)
+	}
+	for len(k.queue) > 0 {
+		k.queue.pop()
+	}
+}
+
+func TestScheduleAllocs(t *testing.T) {
+	k := NewKernel()
+	warmQueue(k, 256)
+	fn := func() {}
+	allocs := testing.AllocsPerRun(100, func() {
+		k.schedule(0, fn)
+		k.queue.pop()
+	})
+	if allocs != 0 {
+		t.Errorf("Kernel.schedule allocates %.2f objects per call; want 0", allocs)
+	}
+}
+
+func TestSleepAllocs(t *testing.T) {
+	k := NewKernel()
+	warmQueue(k, 256)
+	var allocs float64
+	k.Spawn("sleeper", func(p *Proc) {
+		p.Sleep(time.Microsecond) // first pass through the path
+		allocs = testing.AllocsPerRun(100, func() {
+			p.Sleep(time.Microsecond)
+		})
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if allocs != 0 {
+		t.Errorf("Proc.Sleep allocates %.2f objects per call; want 0", allocs)
+	}
+}
+
+func TestChanSendRecvAllocs(t *testing.T) {
+	k := NewKernel()
+	warmQueue(k, 256)
+	c := NewChan[int](k, 0)
+	k.SpawnDaemon("rx", func(p *Proc) {
+		for {
+			c.Recv(p)
+		}
+	})
+	var allocs float64
+	k.Spawn("tx", func(p *Proc) {
+		for i := 0; i < 8; i++ { // fill the waiter free lists
+			c.Send(p, i)
+		}
+		allocs = testing.AllocsPerRun(100, func() {
+			c.Send(p, 1)
+		})
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if allocs != 0 {
+		t.Errorf("rendezvous Chan.Send/Recv allocates %.2f objects per round trip; want 0", allocs)
+	}
+}
+
+func TestEventFireAllocs(t *testing.T) {
+	k := NewKernel()
+	warmQueue(k, 1024)
+	const n = 101 // AllocsPerRun(100, f) invokes f 101 times
+	events := make([]*Event, n)
+	for i := range events {
+		events[i] = NewEvent(k)
+		ev := events[i]
+		k.SpawnDaemon("waiter", func(p *Proc) { ev.Wait(p) })
+	}
+	var allocs float64
+	k.Spawn("firer", func(p *Proc) {
+		// All waiter daemons spawned before us have already parked in Wait.
+		i := 0
+		allocs = testing.AllocsPerRun(100, func() {
+			events[i].Fire()
+			i++
+		})
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if allocs != 0 {
+		t.Errorf("Event.Fire with one waiter allocates %.2f objects per call; want 0", allocs)
+	}
+}

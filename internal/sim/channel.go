@@ -4,12 +4,18 @@ package sim
 // channels rendezvous (the sender blocks until a receiver takes the value),
 // buffered channels block the sender only when full. FIFO ordering holds for
 // both values and blocked processes.
+//
+// Waiter nodes are recycled through per-channel free lists, so steady-state
+// Send/Recv traffic does not allocate (see the allocation-regression tests
+// in alloc_test.go).
 type Chan[T any] struct {
 	k     *Kernel
 	cap   int
 	buf   []T
 	sendq []*chanSend[T]
 	recvq []*chanRecv[T]
+	sfree []*chanSend[T]
+	rfree []*chanRecv[T]
 }
 
 type chanSend[T any] struct {
@@ -31,23 +37,48 @@ func NewChan[T any](k *Kernel, capacity int) *Chan[T] {
 // Len reports the number of buffered values.
 func (c *Chan[T]) Len() int { return len(c.buf) }
 
+func (c *Chan[T]) getSend(p *Proc, v T) *chanSend[T] {
+	if n := len(c.sfree); n > 0 {
+		w := c.sfree[n-1]
+		c.sfree = c.sfree[:n-1]
+		w.p, w.val = p, v
+		return w
+	}
+	return &chanSend[T]{p: p, val: v}
+}
+
+func (c *Chan[T]) putSend(w *chanSend[T]) {
+	var zero T
+	w.p, w.val = nil, zero
+	c.sfree = append(c.sfree, w)
+}
+
+func (c *Chan[T]) getRecv(p *Proc) *chanRecv[T] {
+	if n := len(c.rfree); n > 0 {
+		w := c.rfree[n-1]
+		c.rfree = c.rfree[:n-1]
+		w.p, w.ready = p, false
+		return w
+	}
+	return &chanRecv[T]{p: p}
+}
+
+func (c *Chan[T]) putRecv(w *chanRecv[T]) {
+	var zero T
+	w.p, w.val = nil, zero
+	c.rfree = append(c.rfree, w)
+}
+
 // Send delivers v on the channel, blocking p until a receiver or buffer slot
 // is available.
 func (c *Chan[T]) Send(p *Proc, v T) {
-	if len(c.recvq) > 0 {
-		r := c.recvq[0]
-		c.recvq = c.recvq[1:]
-		r.val, r.ready = v, true
-		r.p.unpark()
+	if c.TrySend(v) {
 		return
 	}
-	if len(c.buf) < c.cap {
-		c.buf = append(c.buf, v)
-		return
-	}
-	w := &chanSend[T]{p: p, val: v}
+	w := c.getSend(p, v)
 	c.sendq = append(c.sendq, w)
 	p.park("chan send")
+	c.putSend(w)
 }
 
 // TrySend delivers v without blocking; it reports whether the value was
@@ -55,7 +86,7 @@ func (c *Chan[T]) Send(p *Proc, v T) {
 func (c *Chan[T]) TrySend(v T) bool {
 	if len(c.recvq) > 0 {
 		r := c.recvq[0]
-		c.recvq = c.recvq[1:]
+		c.recvq = dequeue(c.recvq)
 		r.val, r.ready = v, true
 		r.p.unpark()
 		return true
@@ -72,20 +103,22 @@ func (c *Chan[T]) Recv(p *Proc) T {
 	if v, ok := c.TryRecv(); ok {
 		return v
 	}
-	w := &chanRecv[T]{p: p}
+	w := c.getRecv(p)
 	c.recvq = append(c.recvq, w)
 	p.park("chan recv")
-	return w.val
+	v := w.val
+	c.putRecv(w)
+	return v
 }
 
 // TryRecv takes the next value without blocking; ok reports success.
 func (c *Chan[T]) TryRecv() (v T, ok bool) {
 	if len(c.buf) > 0 {
 		v = c.buf[0]
-		c.buf = c.buf[1:]
+		c.buf = dequeue(c.buf)
 		if len(c.sendq) > 0 {
 			s := c.sendq[0]
-			c.sendq = c.sendq[1:]
+			c.sendq = dequeue(c.sendq)
 			c.buf = append(c.buf, s.val)
 			s.p.unpark()
 		}
@@ -93,9 +126,22 @@ func (c *Chan[T]) TryRecv() (v T, ok bool) {
 	}
 	if len(c.sendq) > 0 {
 		s := c.sendq[0]
-		c.sendq = c.sendq[1:]
+		c.sendq = dequeue(c.sendq)
 		s.p.unpark()
 		return s.val, true
 	}
 	return v, false
+}
+
+// dequeue removes q[0] by shifting in place, keeping the backing array (and
+// its capacity) alive for the next append. Slicing q[1:] instead would bleed
+// one slot of capacity per operation and reallocate on every steady-state
+// Send/Recv cycle. The vacated tail slot is zeroed so it does not retain a
+// reference.
+func dequeue[E any](q []E) []E {
+	copy(q, q[1:])
+	last := len(q) - 1
+	var zero E
+	q[last] = zero
+	return q[:last]
 }

@@ -55,11 +55,16 @@ func NewCounter(k *Kernel, n int) *Counter {
 	return c
 }
 
-// Done records one completion; the Wait event fires when the count reaches zero.
+// Done records one completion; the Wait event fires when the count reaches
+// zero. Like sync.WaitGroup, overshooting the count is a model bug that
+// would otherwise hang the simulation silently, so it panics.
 func (c *Counter) Done() {
 	c.n--
 	if c.n == 0 {
 		c.event.Fire()
+	}
+	if c.n < 0 {
+		panic("sim: Counter.Done called more times than the count passed to NewCounter")
 	}
 }
 

@@ -12,10 +12,26 @@
 //
 // This kernel is the substrate for the simulated cluster: every MPI rank,
 // device stream, and fabric transfer in this repository is a sim process.
+//
+// # Scheduling internals
+//
+// Two hot-path design choices keep the kernel off the wall-clock profile
+// (docs/ARCHITECTURE.md, "Simulator performance"):
+//
+//   - Events are values in a 4-ary index heap, not pointers in a
+//     container/heap. The backing slice is the free list: popped slots are
+//     reused by later pushes, so steady-state scheduling performs zero heap
+//     allocations. Process activations carry the *Proc directly instead of
+//     a heap-allocated closure.
+//
+//   - The dispatch loop migrates to whichever goroutine holds the
+//     "scheduler token". When a process parks it does not bounce control
+//     through a central kernel goroutine; it pops and executes events
+//     itself until one activates another process (one channel hand-off)
+//     or itself (zero hand-offs — the dominant Sleep/park/unpark cycle).
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 	"strings"
@@ -27,42 +43,91 @@ import (
 // time.Duration; one tick is one virtual nanosecond.
 type Time = time.Duration
 
-// event is a scheduled callback. seq orders events with equal fire times so
-// the queue pops them in schedule order, keeping runs deterministic.
+// event is a scheduled occurrence. seq orders events with equal fire times
+// so the queue pops them in schedule order, keeping runs deterministic.
+// Exactly one of proc and fn is set: proc marks a process activation (the
+// allocation-free fast path), fn a general callback.
 type event struct {
-	at  Time
-	seq uint64
-	fn  func()
+	at   Time
+	seq  uint64
+	proc *Proc
+	fn   func()
 }
 
-type eventHeap []*event
+// eventQueue is a 4-ary min-heap of event values ordered by (at, seq). The
+// wider fan-out halves the tree depth of the binary heap it replaces, and
+// value storage removes the per-event allocation and interface boxing of
+// container/heap.
+type eventQueue []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func (q eventQueue) before(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return it
+
+func (q *eventQueue) push(ev event) {
+	s := append(*q, ev)
+	// Sift up with a hole instead of pairwise swaps.
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !s.before(&ev, &s[parent]) {
+			break
+		}
+		s[i] = s[parent]
+		i = parent
+	}
+	s[i] = ev
+	*q = s
+}
+
+func (q *eventQueue) pop() event {
+	s := *q
+	top := s[0]
+	last := len(s) - 1
+	ev := s[last]
+	s[last] = event{} // release proc/fn references into the free list slot
+	s = s[:last]
+	*q = s
+	if last == 0 {
+		return top
+	}
+	// Sift the former tail down from the root with a hole.
+	i := 0
+	for {
+		c := i*4 + 1
+		if c >= last {
+			break
+		}
+		end := c + 4
+		if end > last {
+			end = last
+		}
+		min := c
+		for j := c + 1; j < end; j++ {
+			if s.before(&s[j], &s[min]) {
+				min = j
+			}
+		}
+		if !s.before(&s[min], &ev) {
+			break
+		}
+		s[i] = s[min]
+		i = min
+	}
+	s[i] = ev
+	return top
 }
 
 // Kernel is a discrete-event simulator instance. The zero value is not
 // usable; create one with NewKernel.
 type Kernel struct {
 	now     Time
-	queue   eventHeap
+	queue   eventQueue
 	seq     uint64
-	yield   chan struct{}
-	current *Proc
+	idle    chan struct{} // returns the scheduler token to Run
 	procs   map[int]*Proc
 	nextPID int
 	alive   int
@@ -73,7 +138,7 @@ type Kernel struct {
 // NewKernel returns a kernel with an empty event queue and the clock at zero.
 func NewKernel() *Kernel {
 	return &Kernel{
-		yield: make(chan struct{}),
+		idle:  make(chan struct{}),
 		procs: make(map[int]*Proc),
 	}
 }
@@ -83,14 +148,22 @@ func (k *Kernel) Now() Time { return k.now }
 
 // schedule enqueues fn to run at virtual time at. It may be called from the
 // kernel loop or from the currently executing process; both are serialized.
-func (k *Kernel) schedule(at Time, fn func()) *event {
+func (k *Kernel) schedule(at Time, fn func()) {
 	if at < k.now {
 		at = k.now
 	}
-	ev := &event{at: at, seq: k.seq, fn: fn}
+	k.queue.push(event{at: at, seq: k.seq, fn: fn})
 	k.seq++
-	heap.Push(&k.queue, ev)
-	return ev
+}
+
+// scheduleProc enqueues an activation of p at virtual time at. This is the
+// allocation-free fast path behind Sleep, unpark, and Spawn.
+func (k *Kernel) scheduleProc(at Time, p *Proc) {
+	if at < k.now {
+		at = k.now
+	}
+	k.queue.push(event{at: at, seq: k.seq, proc: p})
+	k.seq++
 }
 
 // After schedules fn to run after delay d of virtual time. It is the
@@ -123,9 +196,12 @@ func (k *Kernel) Spawn(name string, fn func(*Proc)) *Proc {
 		}
 		delete(k.procs, p.id)
 		p.done.Fire()
-		k.yield <- struct{}{}
+		// The goroutine exits holding the scheduler token: keep dispatching
+		// until the token moves on. Self-activation cannot occur (p is dead,
+		// so stale activations of p are skipped).
+		k.dispatch(p)
 	}()
-	k.schedule(k.now, func() { k.activate(p) })
+	k.scheduleProc(k.now, p)
 	return p
 }
 
@@ -140,17 +216,43 @@ func (k *Kernel) SpawnDaemon(name string, fn func(*Proc)) *Proc {
 	return p
 }
 
-// activate hands control to p and waits until p parks or exits. It must run
-// from the kernel loop.
-func (k *Kernel) activate(p *Proc) {
-	if p.dead {
-		return
+// dispatch runs the event loop on the calling goroutine. Exactly one
+// goroutine dispatches at a time — the "scheduler token" — so all kernel
+// state stays single-threaded even though many goroutines exist. The loop
+// exits when:
+//
+//   - an event activates self: dispatch returns false and the caller simply
+//     keeps running (no channel operation at all);
+//   - an event activates another process: the token is handed to it over
+//     its resume channel and dispatch returns true;
+//   - the queue drains or Stop was called: the token is returned to Run via
+//     the idle channel (unless the Run goroutine itself, self == nil, is
+//     dispatching) and dispatch returns true.
+//
+// A true return tells a parking process to wait for its own resume signal.
+func (k *Kernel) dispatch(self *Proc) bool {
+	for !k.stopped && len(k.queue) > 0 {
+		ev := k.queue.pop()
+		k.now = ev.at
+		if p := ev.proc; p != nil {
+			if p.dead {
+				continue // stale activation of an exited process
+			}
+			if p == self {
+				return false
+			}
+			p.resume <- struct{}{}
+			return true
+		}
+		if ev.fn != nil {
+			ev.fn()
+		}
 	}
-	prev := k.current
-	k.current = p
-	p.resume <- struct{}{}
-	<-k.yield
-	k.current = prev
+	if self != nil {
+		k.idle <- struct{}{}
+		return true
+	}
+	return false
 }
 
 // Stop aborts the simulation: Run returns after the current event completes.
@@ -177,13 +279,9 @@ func (k *Kernel) Run() error {
 	}
 	k.running = true
 	defer func() { k.running = false }()
-	for k.queue.Len() > 0 && !k.stopped {
-		ev := heap.Pop(&k.queue).(*event)
-		if ev.fn == nil {
-			continue // cancelled
-		}
-		k.now = ev.at
-		ev.fn()
+	if k.dispatch(nil) {
+		// The token went to a process; it comes back when the queue drains.
+		<-k.idle
 	}
 	if k.stopped {
 		return nil

@@ -33,29 +33,33 @@ func (p *Proc) Done() *Event { return p.done }
 func (p *Proc) Now() Time { return p.k.now }
 
 // park blocks the process until another event resumes it. reason is shown in
-// deadlock reports.
+// deadlock reports. The parking goroutine keeps the scheduler token and
+// dispatches further events itself; it only blocks on its resume channel
+// when the token moves to another process (see Kernel.dispatch).
 func (p *Proc) park(reason string) {
 	p.blocked = reason
-	p.k.yield <- struct{}{}
-	<-p.resume
+	if p.k.dispatch(p) {
+		<-p.resume
+	}
 	p.blocked = ""
 }
 
 // unpark schedules the process to resume at the current virtual time.
 func (p *Proc) unpark() {
 	k := p.k
-	k.schedule(k.now, func() { k.activate(p) })
+	k.scheduleProc(k.now, p)
 }
 
 // Sleep blocks the process for d of virtual time. Non-positive durations
 // yield the processor (the process resumes at the same virtual instant,
-// after already-queued events).
+// after already-queued events). When no other process is runnable earlier,
+// the sleeping process re-activates itself without any goroutine hand-off.
 func (p *Proc) Sleep(d time.Duration) {
 	k := p.k
 	if d < 0 {
 		d = 0
 	}
-	k.schedule(k.now+d, func() { k.activate(p) })
+	k.scheduleProc(k.now+d, p)
 	p.park("sleep")
 }
 

@@ -8,11 +8,30 @@ type Resource struct {
 	capacity int
 	inUse    int
 	waitq    []*resWait
+	wfree    []*resWait
 }
 
 type resWait struct {
 	p *Proc
 	n int
+}
+
+// getWait recycles waiter nodes so contended acquires do not allocate in
+// steady state; the waiter frees its node after it resumes (Release has
+// written the grant into n by then).
+func (r *Resource) getWait(p *Proc, n int) *resWait {
+	if l := len(r.wfree); l > 0 {
+		w := r.wfree[l-1]
+		r.wfree = r.wfree[:l-1]
+		w.p, w.n = p, n
+		return w
+	}
+	return &resWait{p: p, n: n}
+}
+
+func (r *Resource) putWait(w *resWait) {
+	w.p = nil
+	r.wfree = append(r.wfree, w)
 }
 
 // NewResource returns a resource with the given unit capacity.
@@ -40,8 +59,10 @@ func (r *Resource) Acquire(p *Proc, n int) {
 		r.inUse += n
 		return
 	}
-	r.waitq = append(r.waitq, &resWait{p: p, n: n})
+	w := r.getWait(p, n)
+	r.waitq = append(r.waitq, w)
 	p.park("resource")
+	r.putWait(w)
 }
 
 // AcquireUpTo takes between 1 and max units, preferring as many as are
@@ -65,10 +86,12 @@ func (r *Resource) AcquireUpTo(p *Proc, max int) int {
 		r.inUse += n
 		return n
 	}
-	w := &resWait{p: p, n: -max} // negative marks an adaptive request
+	w := r.getWait(p, -max) // negative marks an adaptive request
 	r.waitq = append(r.waitq, w)
 	p.park("resource")
-	return w.n
+	n := w.n
+	r.putWait(w)
+	return n
 }
 
 // Release returns n units and admits as many queued waiters as now fit.

@@ -1,0 +1,50 @@
+#!/bin/sh
+# Bench baseline: run the root benchmark suite (one benchmark per paper
+# exhibit plus the ablations) with -benchmem and persist the numbers as
+# JSON, so perf PRs can diff wall time and allocations against a committed
+# baseline (BENCH_pr3.json) instead of eyeballing `go test -bench` output.
+#
+# Usage: scripts/bench.sh [out.json] [bench-regex] [benchtime]
+#   out.json     output file (default BENCH_pr3.json in the repo root)
+#   bench-regex  -bench selector (default '.')
+#   benchtime    -benchtime value (default 4x: fixed iteration count keeps
+#                run time bounded and exhibits comparable)
+#
+# Each benchmark entry records iterations, ns/op, B/op, allocs/op, and any
+# custom virtual-time metrics the exhibit reports (virt-us/op, img/s, MB/s,
+# speedup). Wall-clock fields measure the simulator; the virtual metrics
+# must stay bit-identical across perf work (see the golden-trace test).
+set -eu
+
+cd "$(dirname "$0")/.."
+out=${1:-BENCH_pr3.json}
+bench=${2:-.}
+benchtime=${3:-4x}
+
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench "$bench" -benchtime "$benchtime" -benchmem . | tee "$raw"
+
+awk -v benchtime="$benchtime" '
+BEGIN {
+    printf "{\n  \"benchtime\": \"%s\",\n  \"benchmarks\": [", benchtime
+    n = 0
+}
+/^Benchmark/ {
+    name = $1
+    sub(/^Benchmark/, "", name)
+    sub(/-[0-9]+$/, "", name) # strip the GOMAXPROCS suffix if present
+    if (n++) printf ","
+    printf "\n    {\"name\": \"%s\", \"iterations\": %s", name, $2
+    for (i = 3; i + 1 <= NF; i += 2) {
+        unit = $(i + 1)
+        gsub(/[^A-Za-z0-9]/, "_", unit) # "virt-us/op" -> "virt_us_op"
+        printf ", \"%s\": %s", unit, $i
+    }
+    printf "}"
+}
+END { printf "\n  ]\n}\n" }
+' "$raw" >"$out"
+
+echo "bench.sh: wrote $(grep -c '"name"' "$out") benchmark entries to $out"

@@ -13,6 +13,11 @@ go vet ./...
 go build ./...
 go test ./...
 # The packages whose state is shared across sim procs (or any caller):
-# re-run under the race detector.
+# re-run under the race detector. internal/experiments exercises the
+# parallel runner, whose worlds must not share mutable state.
 go test -race mpixccl/internal/metrics mpixccl/internal/sim mpixccl/internal/fault
+go test -race -run 'TestRunAll' mpixccl/internal/experiments
+# Bench smoke: one fixed iteration proves the benchmark harness still
+# runs end to end (full baselines come from scripts/bench.sh).
+go test -run '^$' -bench '^BenchmarkFig1aAllreduceCrossover$' -benchtime 1x .
 echo "check.sh: all clean"
