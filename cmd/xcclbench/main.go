@@ -25,6 +25,11 @@
 // written for use with `go tool pprof`. Experiment goroutines are tagged
 // with an {experiment: id} pprof label, so per-experiment CPU cost can be
 // split out with pprof's tagfocus/tagshow options.
+//
+// With -crash rank@step, the "elastic" exhibit fail-stops that world rank
+// during that training step instead of its default injection:
+//
+//	xcclbench -exp elastic -crash 3@2
 package main
 
 import (
@@ -48,7 +53,18 @@ func main() {
 		"write accumulated runtime metrics to this file in Prometheus text format ('-' for stdout)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
+	crash := flag.String("crash", "",
+		"override the elastic exhibit's fail-stop injection as rank@step (e.g. 3@2)")
 	flag.Parse()
+
+	if *crash != "" {
+		var rank, step int
+		if _, err := fmt.Sscanf(*crash, "%d@%d", &rank, &step); err != nil {
+			fmt.Fprintf(os.Stderr, "xcclbench: bad -crash %q (want rank@step, e.g. 3@2)\n", *crash)
+			os.Exit(2)
+		}
+		experiments.SetElasticCrash(rank, step)
+	}
 
 	if *list {
 		for _, id := range experiments.IDs() {

@@ -58,7 +58,20 @@ func (c *Comm) enqueueColl(s *device.Stream, name string, a *opArgs, bytes int64
 		rc := &runCtx{co: co, st: st, rank: rank, p: p}
 		c.delay(p, name) // injected straggler latency, if any
 		rc.launch(bytes)
-		st.start.Wait(p)
+		if co.watchdog > 0 {
+			// A peer already judged this collective dead, or the start
+			// rendezvous times out on a fail-stopped peer: abandon the op
+			// with an async verdict. finish still runs so the op state
+			// drains for the ranks that did show up.
+			if st.aborted || !st.start.WaitTimeout(p, co.watchdog) {
+				st.aborted = true
+				c.asyncErr = co.deadVerdict(name, p.Now())
+				co.finish(st)
+				return
+			}
+		} else {
+			st.start.Wait(p)
+		}
 		run(rc, st.args[rank])
 		co.finish(st)
 	})

@@ -133,6 +133,14 @@ const (
 	// ncclRemoteError class): the call may succeed if reissued, so the
 	// abstraction layer retries it before falling back to MPI.
 	ErrRemote
+	// ErrRankDead reports a fail-stop peer: the rank named in Error.Rank
+	// has crashed and will never rejoin, either observed directly (the
+	// dead rank's own call fails fast) or via the collective watchdog (a
+	// survivor's operation timed out waiting for the dead peer). Not
+	// transient — retrying cannot succeed and the MPI fallback would hang,
+	// so the dispatch layer surfaces it for ULFM-style revoke/shrink
+	// instead (internal/core).
+	ErrRankDead
 )
 
 // String names the result code.
@@ -152,6 +160,8 @@ func (r Result) String() string {
 		return "xcclInternalError"
 	case ErrRemote:
 		return "xcclRemoteError"
+	case ErrRankDead:
+		return "xcclRankDead"
 	}
 	return fmt.Sprintf("Result(%d)", int(r))
 }
@@ -166,14 +176,30 @@ func (r Result) Error() string { return r.String() }
 func (r Result) Transient() bool { return r == ErrRemote }
 
 // Error is a failed CCL call. The abstraction layer inspects Result to
-// decide whether to fall back to the MPI path.
+// decide whether to fall back to the MPI path. Op and Rank, when set,
+// identify the failing call site in the message itself, so log lines and
+// test failures do not need errors.As to learn which rank's which
+// operation produced the error.
 type Error struct {
 	Backend string
 	Result  Result
 	Msg     string
+	// Op is the lower-case operation name of the failing call ("" when
+	// the error is not tied to one call, e.g. comm-init failures).
+	Op string
+	// Rank is the rank the error is attributed to: the calling rank for
+	// injected and argument errors, the dead peer for watchdog verdicts.
+	// When the communicator carries global identities (Comm.SetRankIDs),
+	// injected and crash errors report that identity, not the local rank.
+	// Valid only when Op is set (rank 0 is a real rank); -1 means the
+	// failing rank could not be identified.
+	Rank int
 }
 
 func (e *Error) Error() string {
+	if e.Op != "" {
+		return fmt.Sprintf("%s: %s: %s (op %s, rank %d)", e.Backend, e.Result, e.Msg, e.Op, e.Rank)
+	}
 	return fmt.Sprintf("%s: %s: %s", e.Backend, e.Result, e.Msg)
 }
 

@@ -12,11 +12,14 @@ import (
 
 // core is the state shared by all rank handles of one communicator.
 type core struct {
-	cfg    Config
-	fab    *fabric.Fabric
-	devs   []*device.Device
-	n      int
-	faults Injector // nil = no injection
+	cfg      Config
+	fab      *fabric.Fabric
+	devs     []*device.Device
+	n        int
+	faults   Injector        // nil = no injection
+	failStop fabric.FailStop // nil = no fail-stop crashes
+	watchdog time.Duration   // 0 = collective watchdog disarmed
+	rankIDs  []int           // global identities for fault scoping; nil = local ranks
 
 	ops     map[int]*opState
 	p2pPost map[[2]int]*sim.Chan[*p2pSlot] // receiver-posted buffers per (src,dst)
@@ -106,6 +109,11 @@ type Comm struct {
 	rank  int
 	seq   int       // this rank's collective sequence number
 	group *groupOps // non-nil between GroupStart and GroupEnd
+	// asyncErr is a failure verdict raised inside this rank's stream task
+	// (the collective watchdog firing on a dead peer), where the issuing
+	// call has already returned. Callers collect it with TakeAsyncErr
+	// after synchronizing the stream.
+	asyncErr error
 }
 
 type groupOps struct {
@@ -160,8 +168,14 @@ func NewComms(fab *fabric.Fabric, devs []*device.Device, cfg Config) ([]*Comm, e
 			}
 		}
 	}
+	var fs fabric.FailStop
+	if f, ok := inj.(fabric.FailStop); ok {
+		fs = f
+	} else if fab != nil {
+		fs = fab.FailStop()
+	}
 	co := &core{
-		cfg: cfg, fab: fab, devs: devs, n: len(devs), faults: inj,
+		cfg: cfg, fab: fab, devs: devs, n: len(devs), faults: inj, failStop: fs,
 		ops:      make(map[int]*opState),
 		p2pPost:  make(map[[2]int]*sim.Chan[*p2pSlot]),
 		putNames: make(map[[2]int]string),
@@ -198,6 +212,62 @@ func (c *Comm) Backend() string { return c.core.cfg.Name }
 // Config returns the backend personality.
 func (c *Comm) Config() Config { return c.core.cfg }
 
+// SetWatchdog arms the collective watchdog with deadline d (shared by all
+// rank handles; 0 disarms). When armed, a rank's stream task that waits
+// longer than d for its peers — at the collective start rendezvous or on a
+// point-to-point match — abandons the operation with an ErrRankDead
+// verdict instead of blocking forever on a fail-stopped peer. The verdict
+// is asynchronous (the issuing call already returned); collect it with
+// TakeAsyncErr after synchronizing the stream. The deadline must exceed
+// the largest healthy inter-rank skew or slow ranks will be misread as
+// dead.
+func (c *Comm) SetWatchdog(d time.Duration) { c.core.watchdog = d }
+
+// Watchdog reports the armed watchdog deadline (0 = disarmed).
+func (c *Comm) Watchdog() time.Duration { return c.core.watchdog }
+
+// TakeAsyncErr returns and clears this rank's asynchronous failure
+// verdict, if any. Call after Stream.Synchronize: a watchdog abort lets
+// the stream task complete, so synchronization returns normally and the
+// verdict is only visible here.
+func (c *Comm) TakeAsyncErr() error {
+	err := c.asyncErr
+	c.asyncErr = nil
+	return err
+}
+
+// raiseAsync records an asynchronous failure verdict, keeping the first.
+func (c *Comm) raiseAsync(err error) {
+	if c.asyncErr == nil {
+		c.asyncErr = err
+	}
+}
+
+// SetRankIDs gives the communicator's ranks global identities (shared by
+// every rank handle; ids[r] is local rank r's identity, typically its MPI
+// world rank). Fault rules and failure verdicts then probe and report
+// those identities instead of the communicator-local numbering — what
+// keeps a crash rule naming world rank 5 from re-firing on whichever
+// survivor inherits local rank 5 after a shrink. nil restores the default
+// identity mapping.
+func (c *Comm) SetRankIDs(ids []int) {
+	if ids != nil && len(ids) != c.core.n {
+		panic(fmt.Sprintf("ccl: %d rank ids for %d ranks", len(ids), c.core.n))
+	}
+	c.core.rankIDs = ids
+}
+
+// RankIDs returns the global identity mapping (nil = local ranks).
+func (c *Comm) RankIDs() []int { return c.core.rankIDs }
+
+// rankID resolves a local rank to the identity fault hooks see.
+func (co *core) rankID(r int) int {
+	if co.rankIDs != nil {
+		return co.rankIDs[r]
+	}
+	return r
+}
+
 // SetChannelCap caps how many fabric channels this communicator's
 // transfers drive (0 clears the cap; values above the configured budget
 // have no effect). The cap is shared by every rank handle — it is the
@@ -222,6 +292,11 @@ type opState struct {
 	start *sim.Barrier
 	done  int
 	pipes map[[2]int]*pipe
+	// aborted marks a collective judged dead by the watchdog: some rank
+	// timed out at the start rendezvous, so the algorithm can no longer
+	// run this sequence. Ranks arriving later fail fast with the same
+	// verdict instead of waiting out their own deadline.
+	aborted bool
 }
 
 type opArgs struct {
@@ -381,17 +456,44 @@ func (rc *runCtx) reduceInto(op RedOp, dt Datatype, dst, src *device.Buffer, cou
 	rc.p.Sleep(rc.dev().ReduceTime(int64(count) * int64(dt.Size())))
 }
 
-// inject consults the fault hook for an error to fail this call with.
-// The returned error is nil when no injector is attached or no rule fires.
+// inject consults the fault hooks for an error to fail this call with.
+// The fail-stop probe runs first: a dead rank's own call fails fast with
+// ErrRankDead before any work enqueues, so it never joins the collective
+// its surviving peers will time out on. The returned error is nil when no
+// hook is attached or no rule fires.
 func (c *Comm) inject(op string) error {
 	co := c.core
+	if co.faults == nil && co.failStop == nil {
+		return nil
+	}
+	now := co.fab.Kernel().Now()
+	id := co.rankID(c.rank)
+	if co.failStop != nil && co.failStop.OpCrash(co.cfg.Name, op, id, now) {
+		return &Error{Backend: co.cfg.Name, Result: ErrRankDead, Op: op, Rank: id,
+			Msg: "rank fail-stopped"}
+	}
 	if co.faults == nil {
 		return nil
 	}
-	if e := co.faults.OpError(co.cfg.Name, op, c.rank, co.fab.Kernel().Now()); e != nil {
+	if e := co.faults.OpError(co.cfg.Name, op, id, now); e != nil {
+		e.Op, e.Rank = op, id
 		return e
 	}
 	return nil
+}
+
+// deadVerdict builds the watchdog's ErrRankDead verdict for a rank whose
+// collective timed out, attributing it to a known-dead peer when the
+// fail-stop detector can name one (Rank -1 otherwise).
+func (co *core) deadVerdict(op string, now time.Duration) *Error {
+	if co.failStop != nil {
+		if dead := co.failStop.DeadRanks(now); len(dead) > 0 {
+			return &Error{Backend: co.cfg.Name, Result: ErrRankDead, Op: op, Rank: dead[0],
+				Msg: fmt.Sprintf("peer fail-stopped; watchdog fired after %v", co.watchdog)}
+		}
+	}
+	return &Error{Backend: co.cfg.Name, Result: ErrRankDead, Op: op, Rank: -1,
+		Msg: fmt.Sprintf("watchdog fired after %v; failed peer unknown", co.watchdog)}
 }
 
 // delay charges any injected straggler latency for this rank's part of op.
@@ -400,7 +502,7 @@ func (c *Comm) delay(p *sim.Proc, op string) {
 	if co.faults == nil {
 		return
 	}
-	if d := co.faults.OpDelay(co.cfg.Name, op, c.rank, p.Now()); d > 0 {
+	if d := co.faults.OpDelay(co.cfg.Name, op, co.rankID(c.rank), p.Now()); d > 0 {
 		p.Sleep(d)
 	}
 }
@@ -413,26 +515,29 @@ func (c *Comm) validate(opName string, send, recv *device.Buffer, count int, dt 
 		return err
 	}
 	if count < 0 {
-		return &Error{Backend: cfg.Name, Result: ErrInvalidArgument, Msg: "negative count"}
+		return &Error{Backend: cfg.Name, Result: ErrInvalidArgument, Op: opName, Rank: c.rank,
+			Msg: "negative count"}
 	}
 	if !c.core.supportsDatatype(dt) {
-		return &Error{Backend: cfg.Name, Result: ErrUnsupportedDatatype,
+		return &Error{Backend: cfg.Name, Result: ErrUnsupportedDatatype, Op: opName, Rank: c.rank,
 			Msg: fmt.Sprintf("datatype %v not supported", dt)}
 	}
 	if op != nil && !c.core.supportsOp(*op) {
-		return &Error{Backend: cfg.Name, Result: ErrUnsupportedOp,
+		return &Error{Backend: cfg.Name, Result: ErrUnsupportedOp, Op: opName, Rank: c.rank,
 			Msg: fmt.Sprintf("reduction %v not supported", *op)}
 	}
 	if root < 0 || root >= c.core.n {
-		return &Error{Backend: cfg.Name, Result: ErrInvalidArgument,
+		return &Error{Backend: cfg.Name, Result: ErrInvalidArgument, Op: opName, Rank: c.rank,
 			Msg: fmt.Sprintf("root %d out of range", root)}
 	}
 	bytes := int64(count) * int64(dt.Size())
 	if send != nil && send.Len() < bytes {
-		return &Error{Backend: cfg.Name, Result: ErrInvalidArgument, Msg: "send buffer too small"}
+		return &Error{Backend: cfg.Name, Result: ErrInvalidArgument, Op: opName, Rank: c.rank,
+			Msg: "send buffer too small"}
 	}
 	if recv != nil && recv.Len() < bytes {
-		return &Error{Backend: cfg.Name, Result: ErrInvalidArgument, Msg: "recv buffer too small"}
+		return &Error{Backend: cfg.Name, Result: ErrInvalidArgument, Op: opName, Rank: c.rank,
+			Msg: "recv buffer too small"}
 	}
 	return nil
 }

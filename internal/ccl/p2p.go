@@ -25,23 +25,34 @@ func (c *Comm) validateP2P(opName string, buf *device.Buffer, count int, dt Data
 		return err
 	}
 	if peer < 0 || peer >= c.core.n {
-		return &Error{Backend: cfg.Name, Result: ErrInvalidArgument,
+		return &Error{Backend: cfg.Name, Result: ErrInvalidArgument, Op: opName, Rank: c.rank,
 			Msg: fmt.Sprintf("peer %d out of range", peer)}
 	}
 	if !cfg.Datatypes[dt] {
-		return &Error{Backend: cfg.Name, Result: ErrUnsupportedDatatype,
+		return &Error{Backend: cfg.Name, Result: ErrUnsupportedDatatype, Op: opName, Rank: c.rank,
 			Msg: fmt.Sprintf("datatype %v not supported", dt)}
 	}
 	if int64(count)*int64(dt.Size()) > buf.Len() {
-		return &Error{Backend: cfg.Name, Result: ErrInvalidArgument, Msg: "buffer too small"}
+		return &Error{Backend: cfg.Name, Result: ErrInvalidArgument, Op: opName, Rank: c.rank,
+			Msg: "buffer too small"}
 	}
 	return nil
 }
 
 // runSend executes one send: wait for the peer's posted receive, move the
-// bytes, signal completion.
-func (co *core) runSend(p *sim.Proc, rank int, op p2pOp) {
-	slot := co.p2pChan(rank, op.peer).Recv(p)
+// bytes, signal completion. With the watchdog armed, a receive that is
+// never posted (fail-stopped peer) resolves to an ErrRankDead verdict.
+func (co *core) runSend(p *sim.Proc, rank int, op p2pOp) error {
+	var slot *p2pSlot
+	if co.watchdog > 0 {
+		s, ok := co.p2pChan(rank, op.peer).RecvTimeout(p, co.watchdog)
+		if !ok {
+			return co.deadVerdict("send", p.Now())
+		}
+		slot = s
+	} else {
+		slot = co.p2pChan(rank, op.peer).Recv(p)
+	}
 	if slot.bytes < op.bytes {
 		panic(fmt.Sprintf("ccl: send of %d bytes into %d-byte posted recv", op.bytes, slot.bytes))
 	}
@@ -50,6 +61,7 @@ func (co *core) runSend(p *sim.Proc, rank int, op p2pOp) {
 		co.fabOpts())
 	_ = d
 	slot.done.Fire()
+	return nil
 }
 
 // Send transmits count elements to peer on the stream. Outside a group it
@@ -71,7 +83,9 @@ func (c *Comm) Send(buf *device.Buffer, count int, dt Datatype, peer int, s *dev
 		co.countLaunch("p2p")
 		c.delay(p, "send")
 		p.Sleep(co.cfg.Launch)
-		co.runSend(p, rank, op)
+		if err := co.runSend(p, rank, op); err != nil {
+			c.raiseAsync(err)
+		}
 	})
 	return nil
 }
@@ -95,6 +109,13 @@ func (c *Comm) Recv(buf *device.Buffer, count int, dt Datatype, peer int, s *dev
 		c.delay(p, "recv")
 		p.Sleep(co.cfg.Launch)
 		slot := &p2pSlot{buf: op.buf, bytes: op.bytes, done: sim.NewEvent(p.Kernel())}
+		if co.watchdog > 0 {
+			if !co.p2pChan(op.peer, rank).SendTimeout(p, slot, co.watchdog) ||
+				!slot.done.WaitTimeout(p, co.watchdog) {
+				c.raiseAsync(co.deadVerdict("recv", p.Now()))
+			}
+			return
+		}
 		co.p2pChan(op.peer, rank).Send(p, slot)
 		slot.done.Wait(p)
 	})
@@ -142,16 +163,38 @@ func (c *Comm) GroupEnd() error {
 		slots := make([]*p2pSlot, len(g.recvs))
 		for i, op := range g.recvs {
 			slots[i] = &p2pSlot{buf: op.buf, bytes: op.bytes, done: sim.NewEvent(k)}
-			co.p2pChan(op.peer, rank).Send(p, slots[i])
+			if co.watchdog > 0 {
+				if !co.p2pChan(op.peer, rank).SendTimeout(p, slots[i], co.watchdog) {
+					c.raiseAsync(co.deadVerdict("group", p.Now()))
+				}
+			} else {
+				co.p2pChan(op.peer, rank).Send(p, slots[i])
+			}
 		}
 		// Run sends concurrently; link contention serializes them physically.
 		counter := sim.NewCounter(k, len(g.sends))
 		for _, op := range g.sends {
 			op := op
 			k.Spawn(fmt.Sprintf("%s/gsend/r%d-%d", co.cfg.Name, rank, op.peer), func(cp *sim.Proc) {
-				co.runSend(cp, rank, op)
+				if err := co.runSend(cp, rank, op); err != nil {
+					c.raiseAsync(err)
+				}
 				counter.Done()
 			})
+		}
+		if co.watchdog > 0 {
+			// Each timed wait is bounded on its own (the gsend helpers and
+			// posted receives carry per-wait deadlines), so the fused task
+			// as a whole resolves in bounded virtual time too.
+			if !counter.WaitTimeout(p, 2*co.watchdog) {
+				c.raiseAsync(co.deadVerdict("group", p.Now()))
+			}
+			for _, slot := range slots {
+				if !slot.done.WaitTimeout(p, co.watchdog) {
+					c.raiseAsync(co.deadVerdict("group", p.Now()))
+				}
+			}
+			return
 		}
 		counter.Wait(p)
 		for _, slot := range slots {

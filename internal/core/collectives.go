@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"mpixccl/internal/ccl"
@@ -21,6 +22,15 @@ import (
 // aggregation.
 func (x *Comm) run(op OpKind, bytes int64, d decision,
 	cclPath func(cc *ccl.Comm, s *device.Stream) error, mpiPath func()) {
+	// A failed handle no-ops: a dead rank must stop participating (its
+	// peers' watchdogs already wrote it off), and a revoked communicator
+	// accepts no new collectives until the survivors Shrink it.
+	if x.dead || x.rt.revoked[x.mpi.ContextID()] {
+		if x.failure == nil {
+			x.failure = ErrCommRevoked
+		}
+		return
+	}
 	start := x.mpi.Proc().Now()
 	path := PathMPI
 	if d.useCCL && !x.rt.allowCCL(x, op) {
@@ -32,6 +42,14 @@ func (x *Comm) run(op OpKind, bytes int64, d decision,
 	}
 	if d.useCCL {
 		if err := x.runResilient(op, cclPath); err != nil {
+			if errors.Is(err, ccl.ErrRankDead) {
+				// Fail-stop verdict: retrying cannot succeed and the MPI
+				// fallback would block forever on the dead peer, so
+				// neither the retry loop nor the breaker reacts — the
+				// failure is surfaced for ULFM-style revoke/shrink.
+				x.noteRankFailure(op, err)
+				return
+			}
 			x.rt.breakerFailure(x, op)
 			x.rt.stats.Fallbacks.Error++
 			x.rt.stats.MPIOps++

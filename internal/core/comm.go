@@ -20,6 +20,16 @@ import (
 type Comm struct {
 	rt  *Runtime
 	mpi *mpi.Comm
+	// failure is the first fail-stop verdict this rank observed on the
+	// communicator (ErrRankDead from the watchdog or a crash probe,
+	// ErrCommRevoked after a revocation). Collectives on a failed handle
+	// are no-ops; the application inspects Failure and runs the ULFM-style
+	// recovery (Revoke, Shrink) or exits (Dead).
+	failure error
+	// dead marks the handle of a rank that fail-stopped itself: its own
+	// CCL call failed fast with its own rank named. A dead rank must not
+	// call Shrink — it is the rank the survivors are agreeing to exclude.
+	dead bool
 }
 
 // MPI exposes the underlying MPI communicator (for p2p and escape hatches).
@@ -106,11 +116,32 @@ func (x *Comm) cclComm() (*ccl.Comm, error) {
 			ci.ready.Fire()
 		}
 	}
-	ci.ready.Wait(x.mpi.Proc())
+	// A fail-stopped peer never reaches the rendezvous, so with the
+	// watchdog armed the wait is bounded like any other collective.
+	if wd := rt.watchdogTimeout(); wd > 0 {
+		if !ci.ready.WaitTimeout(x.mpi.Proc(), wd) {
+			return nil, &ccl.Error{Backend: string(rt.kind), Result: ccl.ErrRankDead,
+				Op: "comminit", Rank: -1,
+				Msg: fmt.Sprintf("watchdog fired after %v waiting for peers at communicator creation", wd)}
+		}
+	} else {
+		ci.ready.Wait(x.mpi.Proc())
+	}
 	if ci.err != nil {
 		return nil, ci.err
 	}
-	return ci.comms[x.Rank()], nil
+	comms := ci.comms
+	if comms[0].RankIDs() == nil {
+		// Fault rules and failure verdicts name world ranks; a shrunk
+		// communicator's CCL handles are locally renumbered, so give them
+		// the world identities to probe and report with.
+		ids := make([]int, x.Size())
+		for r := range ids {
+			ids[r] = x.mpi.WorldRankOf(r)
+		}
+		comms[0].SetRankIDs(ids)
+	}
+	return comms[x.Rank()], nil
 }
 
 // decision is the outcome of the dispatch logic for one call.
@@ -179,6 +210,9 @@ func (x *Comm) runCCL(fn func(cc *ccl.Comm, s *device.Stream) error) error {
 	if err != nil {
 		return err
 	}
+	if wd := x.rt.watchdogTimeout(); wd != cc.Watchdog() {
+		cc.SetWatchdog(wd)
+	}
 	// React to an active link-degradation window: drive fewer fabric
 	// channels so concurrent flows keep a fair share of the shrunken
 	// pool. Cleared again once the window passes.
@@ -199,5 +233,10 @@ func (x *Comm) runCCL(fn func(cc *ccl.Comm, s *device.Stream) error) error {
 		return err
 	}
 	s.Synchronize(x.mpi.Proc())
+	// A watchdog abort lets the stream task complete, so synchronization
+	// returns normally and the verdict is only visible here.
+	if err := cc.TakeAsyncErr(); err != nil {
+		return err
+	}
 	return nil
 }

@@ -30,6 +30,16 @@ type Resilience struct {
 	// BreakerCooldown is how long an open breaker rejects CCL dispatch
 	// before letting one half-open probe wave through.
 	BreakerCooldown time.Duration
+	// WatchdogTimeout arms the CCL collective watchdog: a rank whose
+	// stream task waits longer than this for its peers (collective start
+	// rendezvous, point-to-point match) abandons the operation with an
+	// ErrRankDead verdict instead of blocking forever on a fail-stopped
+	// peer, bounding every collective in virtual time. 0 (the default)
+	// leaves operations unbounded — pre-fail-stop behavior, and what keeps
+	// the non-faulty hot paths allocation-free. The deadline must exceed
+	// the largest healthy inter-rank skew (compute imbalance, injected
+	// straggler delays) or slow ranks are misread as dead.
+	WatchdogTimeout time.Duration
 	// Disabled turns the whole policy off (PR-1 behavior: every CCL
 	// error falls back immediately, no breaker).
 	Disabled bool

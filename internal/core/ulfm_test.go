@@ -1,0 +1,212 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"mpixccl/internal/ccl"
+	"mpixccl/internal/fault"
+	"mpixccl/internal/metrics"
+	"mpixccl/internal/mpi"
+)
+
+// watchdogPolicy is the resilience policy the recovery tests run under:
+// default retry/breaker knobs plus an armed collective watchdog.
+func watchdogPolicy() *Resilience {
+	pol := DefaultResilience()
+	pol.WatchdogTimeout = 200 * time.Microsecond
+	return pol
+}
+
+// The full fail-stop recovery path: rank 2 crashes on its third Allreduce,
+// its own call fails fast, the survivors' watchdogs convert the stuck
+// collective into ErrRankDead verdicts in bounded virtual time, and
+// revoke+shrink yields a working 3-rank communicator that completes the
+// run — all deterministic.
+func TestCrashDetectShrinkContinue(t *testing.T) {
+	reg := metrics.NewRegistry()
+	rt := newRuntime(t, "thetagpu", 4, Options{
+		Backend: Auto, Mode: PureCCL, Metrics: reg, Resilience: watchdogPolicy(),
+	})
+	plan := fault.NewPlan(1).AddRule(fault.Rule{
+		Name: "crash", Crash: true, Ranks: []int{2}, Op: "allreduce", After: 2,
+	})
+	rt.Job().Fabric().SetFaults(plan)
+
+	const count = 256
+	if err := rt.Run(func(x *Comm) {
+		send := x.Device().MustMalloc(count * 4)
+		recv := x.Device().MustMalloc(count * 4)
+		defer send.Free()
+		defer recv.Free()
+		for step := 0; step < 3 && x.Failure() == nil; step++ {
+			send.FillFloat32(float32(x.Rank() + 1))
+			x.Allreduce(send, recv, count, mpi.Float32, mpi.OpSum)
+			if x.Failure() == nil && recv.Float32(0) != 10 {
+				t.Errorf("rank %d step %d: sum = %v, want 10", x.Rank(), step, recv.Float32(0))
+			}
+		}
+		err := x.Failure()
+		if err == nil {
+			t.Errorf("rank %d observed no failure", x.Rank())
+			return
+		}
+		if !errors.Is(err, ccl.ErrRankDead) {
+			t.Errorf("rank %d failure = %v, want ErrRankDead", x.Rank(), err)
+		}
+		var ce *ccl.Error
+		if !errors.As(err, &ce) || ce.Rank != 2 {
+			t.Errorf("rank %d failure attributes rank %d, want 2 (%v)", x.Rank(), ce.Rank, err)
+		}
+		if msg := err.Error(); !strings.Contains(msg, "rank 2") || !strings.Contains(msg, "allreduce") {
+			t.Errorf("failure message %q does not name the failing rank and op", msg)
+		}
+		if x.Dead() {
+			if x.Rank() != 2 {
+				t.Errorf("rank %d reads as dead, only rank 2 crashed", x.Rank())
+			}
+			return // the crashed rank exits; survivors recover
+		}
+		x.Revoke()
+		nx, err := x.Shrink()
+		if err != nil {
+			t.Errorf("rank %d shrink: %v", x.Rank(), err)
+			return
+		}
+		if nx.Size() != 3 {
+			t.Errorf("shrunk size = %d, want 3", nx.Size())
+		}
+		// The run completes on the survivors: a fresh CCL communicator is
+		// built for the shrunk world and the crash rule (scoped to world
+		// rank 2) does not re-fire on the renumbered ranks.
+		send.FillFloat32(float32(nx.Rank() + 1))
+		nx.Allreduce(send, recv, count, mpi.Float32, mpi.OpSum)
+		if err := nx.Failure(); err != nil {
+			t.Errorf("rank %d post-shrink failure: %v", x.Rank(), err)
+		} else if recv.Float32(0) != 6 {
+			t.Errorf("post-shrink sum = %v, want 6", recv.Float32(0))
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	if now := rt.Job().Fabric().Kernel().Now(); now > 100*time.Millisecond {
+		t.Errorf("run took %v of virtual time; watchdog should bound the stuck collective", now)
+	}
+	st := rt.Stats()
+	if st.RankFailures != 1 {
+		t.Errorf("RankFailures = %d, want exactly 1 (counted on self-detection only)", st.RankFailures)
+	}
+	if st.Shrinks != 1 {
+		t.Errorf("Shrinks = %d, want 1", st.Shrinks)
+	}
+	if st.Retries != 0 {
+		t.Errorf("Retries = %d, want 0 (ErrRankDead is not transient)", st.Retries)
+	}
+	if v, ok := reg.CounterValue("xccl_rank_failures_total", metrics.Labels{"backend": "nccl"}); !ok || v != 1 {
+		t.Errorf("xccl_rank_failures_total = %v (exists %v), want 1", v, ok)
+	}
+	if v, ok := reg.CounterValue("xccl_shrink_total", metrics.Labels{"backend": "nccl"}); !ok || v != 1 {
+		t.Errorf("xccl_shrink_total = %v (exists %v), want 1", v, ok)
+	}
+	// The crash must never reach the breaker or the MPI fallback: a dead
+	// peer would hang the MPI path.
+	if _, ok := reg.CounterValue("xccl_fallbacks_total", metrics.Labels{
+		"op": "allreduce", "cause": "ccl_error", "backend": "nccl"}); ok {
+		t.Error("ErrRankDead fell back to MPI; it must be intercepted")
+	}
+}
+
+// Revoking a healthy communicator makes every subsequent collective on it
+// a no-op with Failure() == ErrCommRevoked, and a Shrink with no dead
+// ranks rebuilds a same-size working communicator — the pure agreement
+// machinery, no faults involved.
+func TestRevokeStopsDispatchAndShrinkRebuilds(t *testing.T) {
+	reg := metrics.NewRegistry()
+	rt := newRuntime(t, "thetagpu", 2, Options{
+		Backend: Auto, Mode: PureCCL, Metrics: reg, Resilience: watchdogPolicy(),
+	})
+	const count = 64
+	if err := rt.Run(func(x *Comm) {
+		send := x.Device().MustMalloc(count * 4)
+		recv := x.Device().MustMalloc(count * 4)
+		defer send.Free()
+		defer recv.Free()
+		allreduceOnce(t, x, count)
+		if x.Rank() == 0 {
+			x.Revoke()
+		}
+		x.Barrier() // all ranks alive: the MPI barrier is safe and orders the revoke
+		recv.FillFloat32(-1)
+		x.Allreduce(send, recv, count, mpi.Float32, mpi.OpSum)
+		if !errors.Is(x.Failure(), ErrCommRevoked) {
+			t.Errorf("rank %d failure = %v, want ErrCommRevoked", x.Rank(), x.Failure())
+		}
+		if recv.Float32(0) != -1 {
+			t.Errorf("revoked collective wrote recv (%v); it must be a no-op", recv.Float32(0))
+		}
+		nx, err := x.Shrink()
+		if err != nil {
+			t.Errorf("rank %d shrink: %v", x.Rank(), err)
+			return
+		}
+		if nx.Size() != 2 || nx.Failure() != nil {
+			t.Errorf("shrunk comm size=%d failure=%v, want 2/nil", nx.Size(), nx.Failure())
+		}
+		allreduceOnce(t, nx, count)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if st := rt.Stats(); st.Shrinks != 1 || st.RankFailures != 0 {
+		t.Errorf("Shrinks=%d RankFailures=%d, want 1/0", st.Shrinks, st.RankFailures)
+	}
+}
+
+// A time-triggered crash (dead from a virtual instant, no call budget)
+// must be detected the same way: the dead rank's first call after From
+// fails fast and the survivors shrink around it.
+func TestTimeTriggeredCrashShrinks(t *testing.T) {
+	rt := newRuntime(t, "thetagpu", 4, Options{
+		Backend: Auto, Mode: PureCCL, Resilience: watchdogPolicy(),
+	})
+	plan := fault.NewPlan(1).AddRule(fault.Rule{
+		Name: "late-crash", Crash: true, Ranks: []int{1}, From: 50 * time.Microsecond,
+	})
+	rt.Job().Fabric().SetFaults(plan)
+
+	const count = 128
+	if err := rt.Run(func(x *Comm) {
+		send := x.Device().MustMalloc(count * 4)
+		recv := x.Device().MustMalloc(count * 4)
+		defer send.Free()
+		defer recv.Free()
+		for x.Failure() == nil {
+			send.FillFloat32(1)
+			x.Allreduce(send, recv, count, mpi.Float32, mpi.OpSum)
+			x.MPI().Proc().Sleep(20 * time.Microsecond)
+		}
+		if x.Dead() {
+			if x.Rank() != 1 {
+				t.Errorf("rank %d dead, want only rank 1", x.Rank())
+			}
+			return
+		}
+		nx, err := x.Shrink() // implies the revoke
+		if err != nil {
+			t.Errorf("rank %d shrink: %v", x.Rank(), err)
+			return
+		}
+		send.FillFloat32(1)
+		nx.Allreduce(send, recv, count, mpi.Float32, mpi.OpSum)
+		if nx.Failure() != nil || recv.Float32(0) != 3 {
+			t.Errorf("post-shrink: failure=%v sum=%v, want nil/3", nx.Failure(), recv.Float32(0))
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if st := rt.Stats(); st.RankFailures != 1 || st.Shrinks != 1 {
+		t.Errorf("RankFailures=%d Shrinks=%d, want 1/1", st.RankFailures, st.Shrinks)
+	}
+}

@@ -21,6 +21,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"mpixccl/internal/ccl"
 	"mpixccl/internal/ccl/hccl"
@@ -143,6 +144,12 @@ type Stats struct {
 	// BreakerSkips counts CCL dispatches suppressed by an open circuit
 	// breaker (the operations ride the MPI path without trying the CCL).
 	BreakerSkips int
+	// RankFailures counts fail-stopped ranks: each crash increments it
+	// exactly once, on the dead rank's own fast-failing call (survivors'
+	// watchdog verdicts detect the same crash but do not re-count it).
+	RankFailures int
+	// Shrinks counts completed ULFM-style communicator shrinks.
+	Shrinks int
 	// Fallbacks counts MPI fallbacks by cause.
 	Fallbacks struct {
 		Datatype, Op, Device, HostBuffer, Error int
@@ -189,6 +196,18 @@ type Runtime struct {
 	breakers map[breakerKey]*breaker  // per-(backend, op) circuit breakers
 	waves    map[waveKey]*waveVerdict // in-flight wave-consistent verdicts
 	waveIdx  map[rankKey]int          // per-rank collective call indices
+
+	revoked map[int]bool         // revoked communicator context ids (ULFM)
+	shrinks map[int]*shrinkState // in-flight Shrink rendezvous by context id
+}
+
+// watchdogTimeout resolves the armed collective-watchdog deadline
+// (0 = disarmed, also when the whole resilience policy is off).
+func (rt *Runtime) watchdogTimeout() time.Duration {
+	if rt.policy.Disabled {
+		return 0
+	}
+	return rt.policy.WatchdogTimeout
 }
 
 // commInit is one in-flight CCL communicator creation: ranks rendezvous
@@ -216,6 +235,8 @@ func NewRuntime(job *mpi.Job, opts Options) (*Runtime, error) {
 		breakers: make(map[breakerKey]*breaker),
 		waves:    make(map[waveKey]*waveVerdict),
 		waveIdx:  make(map[rankKey]int),
+		revoked:  make(map[int]bool),
+		shrinks:  make(map[int]*shrinkState),
 	}
 	rt.policy = opts.Resilience
 	if rt.policy == nil {

@@ -1,0 +1,185 @@
+package dl
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"mpixccl/internal/core"
+	"mpixccl/internal/fabric"
+	"mpixccl/internal/metrics"
+	"mpixccl/internal/mpi"
+	"mpixccl/internal/sim"
+	"mpixccl/internal/topology"
+)
+
+// ckptBandwidth is the sustained device-to-host serialization rate a
+// checkpoint pays (NVMe-backed host staging, ~12 GB/s).
+const ckptBandwidth = 12 << 30
+
+// ElasticReport extends Report with the fail-stop recovery outcome of one
+// TrainElastic run.
+type ElasticReport struct {
+	Report
+	// StartRanks and FinalRanks are the worker counts before the first
+	// step and after the last (they differ by the crashed ranks).
+	StartRanks, FinalRanks int
+	// CrashedRanks lists the world ranks that fail-stopped.
+	CrashedRanks []int
+	// Shrinks counts completed communicator shrinks.
+	Shrinks int
+	// RollbackSteps is the total training steps re-executed after
+	// rollbacks to the last checkpoint.
+	RollbackSteps int
+	// Checkpoints counts checkpoints taken (recorder rank's view).
+	Checkpoints int
+	// StepLatency is the recorder rank's per-executed-step wall time, in
+	// execution order — re-executed steps appear again, so a crashed run
+	// shows the rollback as repeated entries.
+	StepLatency []time.Duration
+	// Loss is the recorder rank's loss after each executed step: a
+	// deterministic function of cumulative examples seen, so rollback and
+	// the shrunken world are visible as a replayed, slower-improving tail.
+	Loss []float64
+}
+
+// lossAfter is the deterministic stand-in loss curve: purely a function of
+// cumulative examples contributed to the model, so two runs that process
+// the same example count — regardless of crashes and rollbacks — report
+// the same loss.
+func lossAfter(examples int64) float64 {
+	return 8 / math.Sqrt(1+float64(examples)/1000)
+}
+
+// TrainElastic runs the synchronous data-parallel loop with fail-stop
+// recovery: gradients ride the xCCL layer's CCL path with the collective
+// watchdog armed, periodic checkpoints bound the work a crash can destroy,
+// and when a rank fail-stops mid-step the survivors revoke the
+// communicator, shrink to a new one (ULFM-style), roll back to the last
+// checkpoint, and continue training on the smaller world. The run is
+// deterministic: same config + same fault plan = same report.
+//
+// The engine is the xCCL runtime in PureCCL mode — recovery needs every
+// gradient exchange on the watchdog-guarded CCL path, since an MPI
+// collective would block forever on the dead peer.
+func TrainElastic(cfg Config) (ElasticReport, error) {
+	cfg.fillDefaults()
+	if cfg.CheckpointEvery == 0 {
+		cfg.CheckpointEvery = 2
+	}
+	pol := cfg.Resilience
+	if pol == nil {
+		pol = core.DefaultResilience()
+		pol.WatchdogTimeout = 2 * time.Millisecond
+	}
+	k := sim.NewKernel()
+	sys, err := topology.Preset(k, cfg.System, cfg.Nodes)
+	if err != nil {
+		return ElasticReport{}, err
+	}
+	fab := fabric.New(k, sys)
+	if cfg.Faults != nil {
+		fab.SetFaults(cfg.Faults)
+	}
+	nranks := cfg.Ranks
+	if nranks == 0 {
+		nranks = sys.NumDevices()
+	}
+	buckets := FuseBuckets(cfg.Model.Tensors, cfg.FusionBytes)
+	var maxBucket int64
+	for _, b := range buckets {
+		if b.Bytes > maxBucket {
+			maxBucket = b.Bytes
+		}
+	}
+	paramBytes := cfg.Model.Params() * 4
+	ckptTime := time.Duration(float64(paramBytes) / ckptBandwidth * float64(time.Second))
+	rate := computeRate(sys.Device(0).Kind)
+	computeTime := time.Duration(float64(cfg.BatchSize) / rate * float64(time.Second))
+
+	job := mpi.NewJobOnSystem(fab, mpi.MVAPICHProfile(), sys, nranks)
+	rt, err := core.NewRuntime(job, core.Options{
+		Backend: cfg.Backend, Mode: core.PureCCL, Metrics: cfg.Metrics, Resilience: pol,
+	})
+	if err != nil {
+		return ElasticReport{}, err
+	}
+	rollbackCtr := cfg.Metrics.Counter("xccl_rollback_steps_total",
+		"Training steps re-executed after rollback to the last checkpoint.",
+		metrics.Labels{"model": cfg.Model.Name})
+
+	rep := ElasticReport{StartRanks: nranks}
+	rep.Ranks, rep.BatchSize, rep.Buckets = nranks, cfg.BatchSize, len(buckets)
+	if err := rt.Run(func(x *core.Comm) {
+		grad := x.Device().MustMalloc(maxBucket)
+		defer grad.Free()
+		p := x.MPI().Proc()
+		step := 0
+		var examples, examplesAtCkpt int64
+		lastCkpt := 0
+		for step < cfg.Steps {
+			start := p.Now()
+			p.Sleep(computeTime)
+			for _, b := range buckets {
+				p.Sleep(cfg.CoordOverhead)
+				bucket := grad.Slice(0, b.Bytes)
+				x.Allreduce(bucket, bucket, int(b.Bytes/4), mpi.Float32, mpi.OpSum)
+				if x.Failure() != nil {
+					break
+				}
+			}
+			if x.Failure() != nil {
+				if x.Dead() {
+					// This rank is the casualty: record and exit; the
+					// survivors shrink around it.
+					rep.CrashedRanks = append(rep.CrashedRanks, x.MPI().WorldRank())
+					return
+				}
+				nx, serr := x.Shrink() // implies the revoke
+				if serr != nil {
+					panic(fmt.Sprintf("dl: shrink failed: %v", serr))
+				}
+				x = nx
+				p = x.MPI().Proc()
+				if x.Rank() == 0 {
+					rep.RollbackSteps += step - lastCkpt
+					rollbackCtr.Add(float64(step - lastCkpt))
+				}
+				step = lastCkpt
+				examples = examplesAtCkpt
+				continue
+			}
+			step++
+			examples += int64(x.Size()) * int64(cfg.BatchSize)
+			if x.Rank() == 0 {
+				rep.StepLatency = append(rep.StepLatency, p.Now()-start)
+				rep.Loss = append(rep.Loss, lossAfter(examples))
+			}
+			if step%cfg.CheckpointEvery == 0 && step < cfg.Steps {
+				// Synchronous checkpoint: every worker serializes its
+				// replica to host storage before the next step.
+				p.Sleep(ckptTime)
+				lastCkpt, examplesAtCkpt = step, examples
+				if x.Rank() == 0 {
+					rep.Checkpoints++
+				}
+			}
+		}
+		if x.Rank() == 0 {
+			rep.FinalRanks = x.Size()
+		}
+	}); err != nil {
+		return ElasticReport{}, err
+	}
+	if len(rep.StepLatency) == 0 {
+		return ElasticReport{}, fmt.Errorf("dl: no steps completed")
+	}
+	var total time.Duration
+	for _, st := range rep.StepLatency {
+		total += st
+	}
+	rep.StepTime = total / time.Duration(len(rep.StepLatency))
+	rep.Shrinks = rt.Stats().Shrinks
+	rep.ImgPerSec = float64(cfg.BatchSize*rep.FinalRanks) / rep.StepTime.Seconds()
+	return rep, nil
+}

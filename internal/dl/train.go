@@ -84,6 +84,18 @@ type Config struct {
 	// allreduce latency distributions (rank 0's view), plus the runtime
 	// layers' own counters for the engines that support them.
 	Metrics *metrics.Registry
+	// Faults, when non-nil, is attached to the fabric before the run
+	// (typically a *fault.Plan carrying fail-stop crash rules). Only
+	// TrainElastic consults it; Train assumes a healthy cluster.
+	Faults any
+	// Resilience overrides the xCCL resilience policy. TrainElastic
+	// defaults it to DefaultResilience plus a 2 ms collective watchdog —
+	// the deadline that turns a dead peer into a detectable failure.
+	Resilience *core.Resilience
+	// CheckpointEvery is TrainElastic's checkpoint interval in completed
+	// steps (0 = every 2 steps). A crash rolls the survivors back to the
+	// last checkpoint.
+	CheckpointEvery int
 }
 
 func (c *Config) fillDefaults() {

@@ -26,7 +26,7 @@ const goldenPath = "testdata/golden_quick.json"
 // when XCCL_GOLDEN_FULL is set (scripts/bench.sh does this); fig6 is the
 // heaviest exhibit still checked by default and is skipped under -short.
 func goldenVerifyIDs() []string {
-	ids := []string{"table1", "fig1a", "fig1b", "fig3", "fig4", "fig5", "resilience"}
+	ids := []string{"table1", "fig1a", "fig1b", "fig3", "fig4", "fig5", "resilience", "elastic"}
 	if !testing.Short() {
 		ids = append(ids, "fig6")
 	}

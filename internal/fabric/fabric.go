@@ -59,7 +59,26 @@ type Degrader interface {
 	// DegradedNow reports whether any link degradation is active at now —
 	// the aggregate signal the dispatch layer reacts to — with the
 	// composed fault of all active windows.
+	//
+	// FailStop (declared separately below) is the sibling hook for
+	// fail-stop rank crashes.
 	DegradedNow(now time.Duration) (LinkFault, bool)
+}
+
+// FailStop is the fail-stop crash hook (implemented by fault.Plan with
+// crash rules). The CCL layer probes OpCrash on every call from the calling
+// rank so call-counted crashes advance; the watchdog and the ULFM-style
+// shrink agreement in internal/core use the pure queries to attribute a
+// blocked collective to a dead peer and to compute the survivor set.
+type FailStop interface {
+	// OpCrash reports whether rank has fail-stopped, counting this call
+	// against any call-budgeted crash rule matching (backend, op, rank).
+	OpCrash(backend, op string, rank int, now time.Duration) bool
+	// RankDead reports whether rank is dead at now without advancing any
+	// call budget.
+	RankDead(rank int, now time.Duration) bool
+	// DeadRanks lists every rank known dead at now, ascending.
+	DeadRanks(now time.Duration) []int
 }
 
 // Fabric prices and executes transfers over one system's links.
@@ -77,6 +96,7 @@ type Fabric struct {
 
 	faults   any      // attached fault agent (see SetFaults)
 	degrader Degrader // faults, when it implements Degrader
+	failstop FailStop // faults, when it implements FailStop
 	reg      *metrics.Registry
 }
 
@@ -84,14 +104,20 @@ type Fabric struct {
 // fabric — the one ambient attachment point for a simulated world. The
 // fabric itself consults it for link degradation when it implements
 // Degrader; the CCL layer picks it up from here (via Faults) when it
-// implements ccl.Injector. Pass nil to detach.
+// implements ccl.Injector, and the watchdog/shrink machinery (via
+// FailStop) when it models fail-stop crashes. Pass nil to detach.
 func (f *Fabric) SetFaults(agent any) {
 	f.faults = agent
 	f.degrader, _ = agent.(Degrader)
+	f.failstop, _ = agent.(FailStop)
 }
 
 // Faults returns the attached fault agent (nil when none).
 func (f *Fabric) Faults() any { return f.faults }
+
+// FailStop returns the attached fail-stop detector, or nil when the fault
+// agent does not model rank crashes.
+func (f *Fabric) FailStop() FailStop { return f.failstop }
 
 // SetMetrics wires a registry for fabric-level counters (degraded
 // transfers). A nil registry disables them.

@@ -10,6 +10,9 @@
 //   - fabric.Degrader — link-degradation windows that scale a link class's
 //     α/bandwidth or cap its channel grant over a virtual-time interval.
 //     Attach with fabric.Fabric.SetFaults.
+//   - fabric.FailStop — fail-stop crash rules (Rule.Crash) that kill a rank
+//     permanently at a virtual time or after a call budget; the collective
+//     watchdog and ULFM-style shrink in internal/core consume this hook.
 //
 // Determinism: all probabilistic decisions come from one splitmix64 stream
 // seeded at construction, advanced once per probabilistic match, so two
@@ -17,6 +20,8 @@
 package fault
 
 import (
+	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -70,6 +75,18 @@ type Rule struct {
 	// From/Until bound the rule to a virtual-time window. Zero Until
 	// means no end.
 	From, Until time.Duration
+	// Crash marks a fail-stop rule: instead of injecting an error into a
+	// call, the matched rank dies permanently. A crash rule must name its
+	// Ranks explicitly and triggers either at a virtual time (From set,
+	// After zero — the rank is dead from From onward, regardless of
+	// Backend/Op scope) or after a call budget (After = N — the rank dies
+	// on its N+1-th matching liveness probe; Backend/Op scope which probes
+	// count, and the budget is shared across the rule's ranks, so scope
+	// one rule per rank for per-rank counts). Crash rules are permanent
+	// and deterministic: Result, Delay, Count, Probability, and Until must
+	// be unset. Dead ranks are reported through OpCrash/RankDead/DeadRanks
+	// (the fabric.FailStop hook), never through OpError.
+	Crash bool
 }
 
 // LinkRule degrades a fabric link class over a virtual-time window.
@@ -106,12 +123,14 @@ type Plan struct {
 	state uint64
 	rules []*ruleState
 	links []LinkRule
+	dead  map[int]time.Duration // rank -> virtual time of fail-stop
 }
 
 // Compile-time hook conformance.
 var (
 	_ ccl.Injector    = (*Plan)(nil)
 	_ fabric.Degrader = (*Plan)(nil)
+	_ fabric.FailStop = (*Plan)(nil)
 )
 
 // NewPlan returns an empty plan whose probabilistic draws derive from seed.
@@ -119,16 +138,98 @@ func NewPlan(seed uint64) *Plan {
 	return &Plan{state: seed}
 }
 
-// AddRule appends a call-site rule. Returns the plan for chaining.
+// ruleLabel names a rule in validation errors.
+func ruleLabel(name string) string {
+	if name == "" {
+		return "(unnamed)"
+	}
+	return name
+}
+
+// CheckRule validates a call-site rule at construction, returning a
+// descriptive error for rules that could never fire or contradict
+// themselves. An inverted time window or a negative budget used to be
+// accepted and silently never fired — a fault plan that looks armed but
+// injects nothing.
+func CheckRule(r Rule) error {
+	n := ruleLabel(r.Name)
+	if r.Until != 0 && r.Until <= r.From {
+		return fmt.Errorf("fault: rule %s has an inverted time window (from %v, until %v): it would never fire", n, r.From, r.Until)
+	}
+	if r.After < 0 {
+		return fmt.Errorf("fault: rule %s has a negative After budget (%d)", n, r.After)
+	}
+	if r.Count < 0 {
+		return fmt.Errorf("fault: rule %s has a negative Count budget (%d)", n, r.Count)
+	}
+	if r.Probability < 0 || r.Probability > 1 {
+		return fmt.Errorf("fault: rule %s has Probability %v outside [0, 1]", n, r.Probability)
+	}
+	if r.Delay < 0 {
+		return fmt.Errorf("fault: rule %s has a negative Delay (%v)", n, r.Delay)
+	}
+	if r.Crash {
+		if r.Point != OpCall {
+			return fmt.Errorf("fault: crash rule %s must use Point OpCall", n)
+		}
+		if len(r.Ranks) == 0 {
+			return fmt.Errorf("fault: crash rule %s must name its Ranks explicitly", n)
+		}
+		if r.Result != ccl.Success || r.Delay != 0 {
+			return fmt.Errorf("fault: crash rule %s must not set Result or Delay (a fail-stop is not an injected call error)", n)
+		}
+		if r.Count != 0 || r.Probability != 0 || r.Until != 0 {
+			return fmt.Errorf("fault: crash rule %s must not set Count, Probability, or Until (a fail-stop is permanent and deterministic)", n)
+		}
+		return nil
+	}
+	if r.Result == ccl.Success && r.Delay == 0 {
+		return fmt.Errorf("fault: rule %s injects neither an error nor a delay: it would never fire", n)
+	}
+	return nil
+}
+
+// CheckLinkRule validates a link-degradation window at construction.
+func CheckLinkRule(r LinkRule) error {
+	n := ruleLabel(r.Name)
+	if r.Until != 0 && r.Until <= r.From {
+		return fmt.Errorf("fault: link rule %s has an inverted time window (from %v, until %v): it would never fire", n, r.From, r.Until)
+	}
+	if r.BWScale < 0 || r.BWScale > 1 {
+		return fmt.Errorf("fault: link rule %s has BWScale %v outside (0, 1]", n, r.BWScale)
+	}
+	if r.AlphaScale < 0 {
+		return fmt.Errorf("fault: link rule %s has a negative AlphaScale (%v)", n, r.AlphaScale)
+	}
+	if r.ChannelCap < 0 {
+		return fmt.Errorf("fault: link rule %s has a negative ChannelCap (%d)", n, r.ChannelCap)
+	}
+	if r.BWScale == 0 && r.AlphaScale == 0 && r.ChannelCap == 0 {
+		return fmt.Errorf("fault: link rule %s degrades nothing: it would never fire", n)
+	}
+	return nil
+}
+
+// AddRule appends a call-site rule, panicking with a descriptive error if
+// the rule is invalid (use CheckRule to validate without panicking).
+// Returns the plan for chaining.
 func (p *Plan) AddRule(r Rule) *Plan {
+	if err := CheckRule(r); err != nil {
+		panic(err)
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.rules = append(p.rules, &ruleState{Rule: r})
 	return p
 }
 
-// AddLinkRule appends a link-degradation window. Returns the plan.
+// AddLinkRule appends a link-degradation window, panicking with a
+// descriptive error if the window is invalid (use CheckLinkRule to validate
+// without panicking). Returns the plan.
 func (p *Plan) AddLinkRule(r LinkRule) *Plan {
+	if err := CheckLinkRule(r); err != nil {
+		panic(err)
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.links = append(p.links, r)
@@ -208,12 +309,112 @@ func (p *Plan) matchOp(r *ruleState, backend, op string, rank int, now time.Dura
 	return inWindow(r.From, r.Until, now)
 }
 
-// OpError implements ccl.Injector: the first firing error rule wins.
+// markDead records a rank's fail-stop (once) and credits the rule's Fired
+// count. Callers hold p.mu.
+func (p *Plan) markDead(r *ruleState, rank int, at time.Duration) {
+	if _, ok := p.dead[rank]; ok {
+		return
+	}
+	if p.dead == nil {
+		p.dead = make(map[int]time.Duration)
+	}
+	p.dead[rank] = at
+	r.fired++
+}
+
+// rankDeadLocked answers the pure liveness query: the rank is dead if a
+// probe already killed it or a time-triggered crash rule's From has passed.
+// Time-triggered deaths ignore Backend/Op scope — a fail-stopped rank is
+// dead for every call site. Callers hold p.mu.
+func (p *Plan) rankDeadLocked(rank int, now time.Duration) bool {
+	if t, ok := p.dead[rank]; ok {
+		return t <= now
+	}
+	for _, r := range p.rules {
+		if !r.Crash || r.After > 0 {
+			continue
+		}
+		if rankIn(r.Ranks, rank) && now >= r.From {
+			p.markDead(r, rank, r.From)
+			return true
+		}
+	}
+	return false
+}
+
+// OpCrash implements fabric.FailStop's liveness probe: it reports whether
+// rank has fail-stopped, advancing call-counted crash rules — each probe
+// from a live matching rank consumes one call of the rule's After budget,
+// so a rule with After=N kills the rank on its N+1-th matching call. The
+// CCL validation path probes once per op call on the calling rank.
+func (p *Plan) OpCrash(backend, op string, rank int, now time.Duration) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.rankDeadLocked(rank, now) {
+		return true
+	}
+	for _, r := range p.rules {
+		if !r.Crash || r.After <= 0 || !p.matchOp(r, backend, op, rank, now) {
+			continue
+		}
+		r.matched++
+		if r.matched <= r.After {
+			continue
+		}
+		p.markDead(r, rank, now)
+		return true
+	}
+	return false
+}
+
+// RankDead implements fabric.FailStop: a pure liveness query that never
+// advances call budgets. Watchdog verdicts and survivor agreement use this.
+func (p *Plan) RankDead(rank int, now time.Duration) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.rankDeadLocked(rank, now)
+}
+
+// DeadRanks implements fabric.FailStop: every rank known dead at now, in
+// ascending order. Like RankDead it is a pure query.
+func (p *Plan) DeadRanks(now time.Duration) []int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	seen := make(map[int]bool, len(p.dead))
+	for rank, t := range p.dead {
+		if t <= now {
+			seen[rank] = true
+		}
+	}
+	for _, r := range p.rules {
+		if !r.Crash || r.After > 0 || now < r.From {
+			continue
+		}
+		for _, rank := range r.Ranks {
+			if !seen[rank] {
+				p.markDead(r, rank, r.From)
+				seen[rank] = true
+			}
+		}
+	}
+	if len(seen) == 0 {
+		return nil
+	}
+	ranks := make([]int, 0, len(seen))
+	for rank := range seen {
+		ranks = append(ranks, rank)
+	}
+	sort.Ints(ranks)
+	return ranks
+}
+
+// OpError implements ccl.Injector: the first firing error rule wins. Crash
+// rules never inject call errors; they surface through OpCrash instead.
 func (p *Plan) OpError(backend, op string, rank int, now time.Duration) *ccl.Error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	for _, r := range p.rules {
-		if r.Result == ccl.Success || !p.matchOp(r, backend, op, rank, now) {
+		if r.Crash || r.Result == ccl.Success || !p.matchOp(r, backend, op, rank, now) {
 			continue
 		}
 		if !p.fire(r) {

@@ -1,6 +1,8 @@
 package fault
 
 import (
+	"fmt"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -198,4 +200,120 @@ func TestConcurrentAccess(t *testing.T) {
 		}(g)
 	}
 	wg.Wait()
+}
+
+// A time-triggered crash rule kills its ranks from From onward for every
+// query path, without consuming probes; call paths and other ranks are
+// unaffected before the trigger.
+func TestCrashRuleTimeTriggered(t *testing.T) {
+	p := NewPlan(1)
+	p.AddRule(Rule{Name: "die", Crash: true, Ranks: []int{2}, From: 100 * time.Microsecond})
+
+	if p.RankDead(2, 99*time.Microsecond) {
+		t.Error("rank 2 dead before its crash time")
+	}
+	if p.OpCrash("nccl", "allreduce", 2, 50*time.Microsecond) {
+		t.Error("probe before the crash time killed the rank")
+	}
+	if got := p.DeadRanks(99 * time.Microsecond); got != nil {
+		t.Errorf("DeadRanks before trigger = %v; want none", got)
+	}
+	if !p.RankDead(2, 100*time.Microsecond) {
+		t.Error("rank 2 alive at its crash time")
+	}
+	if !p.OpCrash("nccl", "allreduce", 2, 200*time.Microsecond) {
+		t.Error("probe after the crash time reported the rank alive")
+	}
+	if p.RankDead(3, 200*time.Microsecond) {
+		t.Error("unscoped rank reported dead")
+	}
+	if got := p.DeadRanks(200 * time.Microsecond); len(got) != 1 || got[0] != 2 {
+		t.Errorf("DeadRanks = %v; want [2]", got)
+	}
+	if p.Fired("die") != 1 {
+		t.Errorf("crash rule fired %d times; want 1", p.Fired("die"))
+	}
+	// A crash never surfaces as an injected call error.
+	if e := p.OpError("nccl", "allreduce", 2, 200*time.Microsecond); e != nil {
+		t.Errorf("crash rule injected a call error: %v", e)
+	}
+}
+
+// A call-counted crash rule (After=N) kills the rank on its N+1-th matching
+// probe; pure queries never advance the budget.
+func TestCrashRuleCallCounted(t *testing.T) {
+	p := NewPlan(1)
+	p.AddRule(Rule{Name: "die", Crash: true, Ranks: []int{1}, Op: "allreduce", After: 2})
+
+	// Pure queries must not consume the budget.
+	for i := 0; i < 10; i++ {
+		if p.RankDead(1, 0) {
+			t.Fatal("pure query killed the rank")
+		}
+	}
+	if p.OpCrash("nccl", "allreduce", 1, 0) || p.OpCrash("nccl", "allreduce", 1, 0) {
+		t.Fatal("rank died inside its After budget")
+	}
+	// Probes from other ranks or other ops must not count.
+	if p.OpCrash("nccl", "allreduce", 0, 0) || p.OpCrash("nccl", "broadcast", 1, 0) {
+		t.Fatal("out-of-scope probe killed the rank")
+	}
+	if !p.OpCrash("nccl", "allreduce", 1, 0) {
+		t.Fatal("third matching probe did not kill the rank")
+	}
+	if !p.RankDead(1, 0) {
+		t.Error("death not visible to the pure query")
+	}
+	if got := p.DeadRanks(0); len(got) != 1 || got[0] != 1 {
+		t.Errorf("DeadRanks = %v; want [1]", got)
+	}
+}
+
+// Invalid rules must be rejected at construction with a descriptive error
+// instead of silently never firing.
+func TestRuleValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		rule Rule
+		want string
+	}{
+		{"inverted window", Rule{Name: "w", Result: ccl.ErrRemote, From: 10, Until: 5}, "inverted time window"},
+		{"negative after", Rule{Name: "a", Result: ccl.ErrRemote, After: -1}, "negative After budget"},
+		{"negative count", Rule{Name: "c", Result: ccl.ErrRemote, Count: -2}, "negative Count budget"},
+		{"bad probability", Rule{Name: "p", Result: ccl.ErrRemote, Probability: 1.5}, "outside [0, 1]"},
+		{"negative delay", Rule{Name: "d", Delay: -time.Microsecond}, "negative Delay"},
+		{"no effect", Rule{Name: "n"}, "neither an error nor a delay"},
+		{"crash without ranks", Rule{Name: "x", Crash: true}, "must name its Ranks"},
+		{"crash with result", Rule{Name: "x", Crash: true, Ranks: []int{1}, Result: ccl.ErrInternal}, "must not set Result or Delay"},
+		{"crash with count", Rule{Name: "x", Crash: true, Ranks: []int{1}, Count: 1}, "must not set Count"},
+	}
+	for _, tc := range cases {
+		err := CheckRule(tc.rule)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: CheckRule = %v; want error containing %q", tc.name, err, tc.want)
+		}
+	}
+	if err := CheckRule(Rule{Name: "ok", Result: ccl.ErrRemote, From: 5, Until: 10}); err != nil {
+		t.Errorf("valid rule rejected: %v", err)
+	}
+
+	if err := CheckLinkRule(LinkRule{Name: "lw", BWScale: 0.5, From: 10, Until: 5}); err == nil ||
+		!strings.Contains(err.Error(), "inverted time window") {
+		t.Errorf("inverted link window: CheckLinkRule = %v", err)
+	}
+	if err := CheckLinkRule(LinkRule{Name: "ln"}); err == nil ||
+		!strings.Contains(err.Error(), "degrades nothing") {
+		t.Errorf("no-effect link rule: CheckLinkRule = %v", err)
+	}
+
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("AddRule accepted an invalid rule without panicking")
+		}
+		if !strings.Contains(fmt.Sprint(r), "inverted time window") {
+			t.Errorf("AddRule panic = %v; want the CheckRule error", r)
+		}
+	}()
+	NewPlan(1).AddRule(Rule{Name: "bad", Result: ccl.ErrRemote, From: 10, Until: 5})
 }

@@ -474,3 +474,36 @@ func TestCollectivesOnSingleRank(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestCommSubsetExcludesNonMembers(t *testing.T) {
+	j := newTestJob(t, 4)
+	err := j.Run(func(c *Comm) {
+		// Rank 1 sits out entirely — MPI_Comm_create_group semantics: the
+		// excluded rank is not asked to participate in the rendezvous.
+		if c.Rank() == 1 {
+			return
+		}
+		sub := c.Subset([]int{0, 2, 3})
+		if sub.Size() != 3 {
+			t.Errorf("subset size = %d, want 3", sub.Size())
+		}
+		wantLocal := map[int]int{0: 0, 2: 1, 3: 2}[c.Rank()]
+		if sub.Rank() != wantLocal {
+			t.Errorf("rank %d got subset rank %d, want %d", c.Rank(), sub.Rank(), wantLocal)
+		}
+		if sub.WorldRank() != c.Rank() || sub.WorldRankOf(sub.Rank()) != c.Rank() {
+			t.Errorf("rank %d: world identity lost across Subset", c.Rank())
+		}
+		// Traffic on the subset must only involve its members.
+		send := sub.Device().MustMalloc(8)
+		recv := sub.Device().MustMalloc(8)
+		send.SetFloat64(0, float64(c.Rank()))
+		sub.Allreduce(send, recv, 1, Float64, OpSum)
+		if want := 0.0 + 2 + 3; recv.Float64(0) != want {
+			t.Errorf("rank %d subset sum = %v, want %v", c.Rank(), recv.Float64(0), want)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

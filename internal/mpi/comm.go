@@ -91,6 +91,7 @@ type commCtx struct {
 	match []*matchCtx
 	split *splitPending
 	dup   *splitPending
+	sub   map[string]*subsetPending // in-flight Subset rendezvous by member list
 }
 
 func (j *Job) newCommCtx(group []int) *commCtx {
@@ -122,6 +123,11 @@ func (c *Comm) Size() int { return len(c.ctx.group) }
 
 // WorldRank returns the rank's id in the world communicator.
 func (c *Comm) WorldRank() int { return c.ctx.group[c.rank] }
+
+// WorldRankOf returns the world rank of communicator-local rank r — the
+// stable identity layers above key fault attribution and survivor
+// agreement on, since local ranks renumber across Split/Subset.
+func (c *Comm) WorldRankOf(r int) int { return c.ctx.group[r] }
 
 // Device returns the accelerator this rank drives.
 func (c *Comm) Device() *device.Device { return c.dev }
@@ -227,6 +233,50 @@ func (c *Comm) Split(color, key int) *Comm {
 		}
 	}
 	panic("mpi: split lost a rank")
+}
+
+// subsetPending coordinates a Comm.Subset collective across its members.
+type subsetPending struct {
+	arrived int
+	ready   *sim.Event
+	result  *commCtx
+}
+
+// Subset builds a communicator containing exactly the given local ranks of
+// this communicator, in the given order — MPI_Comm_create_group semantics:
+// only the listed members call it, with identical member lists, and ranks
+// outside the list are not involved at all. That asymmetry is what the
+// ULFM-style shrink needs: the excluded (dead) ranks cannot be asked to
+// participate in anything. The caller must appear in members.
+func (c *Comm) Subset(members []int) *Comm {
+	ctx := c.ctx
+	if ctx.sub == nil {
+		ctx.sub = make(map[string]*subsetPending)
+	}
+	key := fmt.Sprint(members)
+	sp := ctx.sub[key]
+	if sp == nil {
+		sp = &subsetPending{ready: sim.NewEvent(c.proc.Kernel())}
+		ctx.sub[key] = sp
+	}
+	sp.arrived++
+	if sp.arrived < len(members) {
+		sp.ready.Wait(c.proc)
+	} else {
+		group := make([]int, len(members))
+		for i, lr := range members {
+			group[i] = ctx.group[lr]
+		}
+		sp.result = ctx.job.newCommCtx(group)
+		delete(ctx.sub, key)
+		sp.ready.Fire()
+	}
+	for i, lr := range members {
+		if lr == c.rank {
+			return &Comm{ctx: sp.result, rank: i, proc: c.proc, dev: c.dev}
+		}
+	}
+	panic("mpi: Subset caller not in members")
 }
 
 // Dup returns a communicator with the same group but a fresh matching

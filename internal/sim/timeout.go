@@ -1,0 +1,184 @@
+package sim
+
+// Timeout-aware variants of the blocking primitives. They back the
+// collective watchdog in internal/ccl: a process waiting on a peer that has
+// fail-stopped resolves to a timeout verdict in bounded virtual time instead
+// of deadlocking the kernel.
+//
+// A non-positive timeout means "no watchdog" and delegates to the plain
+// blocking variant, so a disarmed call is byte-for-byte the ordinary path
+// (including its zero-allocation guarantee — see alloc_test.go). An armed
+// call schedules one timer closure; the timer is the only allocation.
+//
+// Timers cannot be cancelled. A timer whose waiter was legitimately woken
+// finds the waiter gone from the wait queue (or its wait already completed)
+// and does nothing; it may still advance the virtual clock at queue-drain
+// time, which is harmless because all measurements are taken inside
+// processes. Ties are resolved in favor of the timeout: if the wake and the
+// deadline land on the same virtual instant and the timer's event pops
+// first, the wait reports a timeout.
+
+// indexOf returns the position of w in q, or -1. Wait queues are short
+// (bounded by the party count), so a linear scan is fine.
+func indexOf[E comparable](q []E, w E) int {
+	for i, x := range q {
+		if x == w {
+			return i
+		}
+	}
+	return -1
+}
+
+// removeAt deletes q[i] preserving FIFO order, zeroing the vacated tail slot
+// so it does not retain a reference (same contract as dequeue).
+func removeAt[E any](q []E, i int) []E {
+	copy(q[i:], q[i+1:])
+	last := len(q) - 1
+	var zero E
+	q[last] = zero
+	return q[:last]
+}
+
+// WaitTimeout blocks p until the event fires or d elapses. It reports
+// whether the event fired; false means the wait timed out. d <= 0 waits
+// forever (plain Wait).
+func (e *Event) WaitTimeout(p *Proc, d Time) bool {
+	if e.fired {
+		return true
+	}
+	if d <= 0 {
+		e.Wait(p)
+		return true
+	}
+	e.waiters = append(e.waiters, p)
+	timedOut := false
+	e.k.schedule(e.k.now+d, func() {
+		// Presence in the wait queue is the authority: Fire empties it, so
+		// a stale timer for a fired event finds nothing to do.
+		if i := indexOf(e.waiters, p); i >= 0 {
+			e.waiters = removeAt(e.waiters, i)
+			timedOut = true
+			p.unpark()
+		}
+	})
+	p.park("event (watchdog)")
+	return !timedOut
+}
+
+// WaitTimeout blocks p until the count reaches zero or d elapses, reporting
+// whether the count drained. d <= 0 waits forever.
+func (c *Counter) WaitTimeout(p *Proc, d Time) bool {
+	return c.event.WaitTimeout(p, d)
+}
+
+// WaitTimeout blocks p until all parties arrive or d elapses. It reports
+// whether the barrier released; on timeout p withdraws from the barrier, so
+// a party that never shows up leaves the remaining waiters to time out on
+// their own deadlines rather than hanging (the barrier can then no longer
+// release this cycle — callers treat a timeout as a terminal verdict for
+// the operation).
+func (b *Barrier) WaitTimeout(p *Proc, d Time) bool {
+	if b.parties <= 1 {
+		return true
+	}
+	if d <= 0 {
+		b.Wait(p)
+		return true
+	}
+	if len(b.waiting)+1 == b.parties {
+		for _, w := range b.waiting {
+			w.unpark()
+		}
+		b.waiting = b.waiting[:0]
+		return true
+	}
+	b.waiting = append(b.waiting, p)
+	timedOut := false
+	// done guards the cyclic-reuse hazard: the barrier may release and p may
+	// re-enter the same barrier before the stale timer fires, putting p back
+	// in b.waiting for a different cycle. done flips as soon as this wait
+	// completes, before any re-entry is possible.
+	done := false
+	b.k.schedule(b.k.now+d, func() {
+		if done {
+			return
+		}
+		if i := indexOf(b.waiting, p); i >= 0 {
+			b.waiting = removeAt(b.waiting, i)
+			timedOut = true
+			p.unpark()
+		}
+	})
+	p.park("barrier (watchdog)")
+	done = true
+	return !timedOut
+}
+
+// RecvTimeout takes the next value, blocking p for at most d. ok reports
+// whether a value arrived; false means the wait timed out and no value was
+// consumed. d <= 0 blocks forever (plain Recv).
+func (c *Chan[T]) RecvTimeout(p *Proc, d Time) (v T, ok bool) {
+	if d <= 0 {
+		return c.Recv(p), true
+	}
+	if v, ok := c.TryRecv(); ok {
+		return v, true
+	}
+	w := c.getRecv(p)
+	c.recvq = append(c.recvq, w)
+	timedOut := false
+	// done guards node recycling: once this wait completes the node returns
+	// to the free list and may be queued again for a different waiter; the
+	// stale timer must not match it there.
+	done := false
+	c.k.schedule(c.k.now+d, func() {
+		if done {
+			return
+		}
+		if i := indexOf(c.recvq, w); i >= 0 {
+			c.recvq = removeAt(c.recvq, i)
+			timedOut = true
+			w.p.unpark()
+		}
+	})
+	p.park("chan recv (watchdog)")
+	done = true
+	v = w.val
+	c.putRecv(w)
+	if timedOut {
+		var zero T
+		return zero, false
+	}
+	return v, true
+}
+
+// SendTimeout delivers v, blocking p for at most d. It reports whether the
+// value was accepted; false means the wait timed out and the value was not
+// delivered. d <= 0 blocks forever (plain Send).
+func (c *Chan[T]) SendTimeout(p *Proc, v T, d Time) bool {
+	if d <= 0 {
+		c.Send(p, v)
+		return true
+	}
+	if c.TrySend(v) {
+		return true
+	}
+	w := c.getSend(p, v)
+	c.sendq = append(c.sendq, w)
+	timedOut := false
+	done := false
+	c.k.schedule(c.k.now+d, func() {
+		if done {
+			return
+		}
+		if i := indexOf(c.sendq, w); i >= 0 {
+			c.sendq = removeAt(c.sendq, i)
+			timedOut = true
+			w.p.unpark()
+		}
+	})
+	p.park("chan send (watchdog)")
+	done = true
+	c.putSend(w)
+	return !timedOut
+}

@@ -14,12 +14,30 @@
 # custom virtual-time metrics the exhibit reports (virt-us/op, img/s, MB/s,
 # speedup). Wall-clock fields measure the simulator; the virtual metrics
 # must stay bit-identical across perf work (see the golden-trace test).
+#
+# Regression gate: before overwriting the committed baseline, the script
+# snapshots its Fig6/Fig7 wall-clock numbers and asserts the fresh run is
+# within XCCL_BENCH_TOLERANCE percent (default 2) — the watchdog and
+# fail-stop machinery must stay free on the non-faulty path. Override the
+# tolerance when the machine is known to differ from the baseline's:
+#
+#   XCCL_BENCH_TOLERANCE=10 scripts/bench.sh
 set -eu
 
 cd "$(dirname "$0")/.."
 out=${1:-BENCH_pr3.json}
 bench=${2:-.}
 benchtime=${3:-4x}
+baseline=${XCCL_BENCH_BASELINE:-BENCH_pr3.json}
+tolerance=${XCCL_BENCH_TOLERANCE:-2}
+
+# ns_op of one benchmark entry in a baseline JSON ('' if absent).
+ns_op() {
+	[ -f "$1" ] || return 0
+	sed -n "s/.*\"name\": \"$2\",.*\"ns_op\": \([0-9]*\).*/\1/p" "$1"
+}
+base_fig6=$(ns_op "$baseline" Fig6MultiNodeCollectives)
+base_fig7=$(ns_op "$baseline" Fig7HorovodNvidia)
 
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
@@ -48,3 +66,23 @@ END { printf "\n  ]\n}\n" }
 ' "$raw" >"$out"
 
 echo "bench.sh: wrote $(grep -c '"name"' "$out") benchmark entries to $out"
+
+# Wall-clock gate against the pre-run baseline snapshot.
+gate=0
+check_ns() { # name baseline-ns new-ns
+	if [ -z "$2" ] || [ -z "$3" ]; then
+		echo "bench.sh: $1: no baseline to gate against (skipped)"
+		return 0
+	fi
+	awk -v name="$1" -v base="$2" -v new="$3" -v tol="$tolerance" 'BEGIN {
+		pct = (new - base) * 100 / base
+		printf "bench.sh: %s wall clock %+.1f%% vs baseline (tolerance %s%%)\n", name, pct, tol
+		exit pct > tol ? 1 : 0
+	}' || return 1
+}
+check_ns Fig6MultiNodeCollectives "$base_fig6" "$(ns_op "$out" Fig6MultiNodeCollectives)" || gate=1
+check_ns Fig7HorovodNvidia "$base_fig7" "$(ns_op "$out" Fig7HorovodNvidia)" || gate=1
+if [ "$gate" != 0 ]; then
+	echo "bench.sh: wall-clock regression beyond ${tolerance}% (set XCCL_BENCH_TOLERANCE to override)" >&2
+	exit 1
+fi

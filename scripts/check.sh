@@ -14,9 +14,14 @@ go build ./...
 go test ./...
 # The packages whose state is shared across sim procs (or any caller):
 # re-run under the race detector. internal/experiments exercises the
-# parallel runner, whose worlds must not share mutable state.
-go test -race mpixccl/internal/metrics mpixccl/internal/sim mpixccl/internal/fault
+# parallel runner, whose worlds must not share mutable state; internal/core
+# includes the concurrent-runtime breaker and fail-stop recovery tests.
+go test -race mpixccl/internal/metrics mpixccl/internal/sim mpixccl/internal/fault mpixccl/internal/core
 go test -race -run 'TestRunAll' mpixccl/internal/experiments
+# dl's recovery path (watchdog + shrink + rollback) is the only dl surface
+# with cross-layer shared state; its Train* exhibits are single-kernel and
+# wall-clock heavy, so the race pass is scoped to the elastic tests.
+go test -race -run 'TestTrainElastic' mpixccl/internal/dl
 # Bench smoke: one fixed iteration proves the benchmark harness still
 # runs end to end (full baselines come from scripts/bench.sh).
 go test -run '^$' -bench '^BenchmarkFig1aAllreduceCrossover$' -benchtime 1x .
