@@ -6,6 +6,7 @@
 //	xcclbench -exp fig5            # one experiment, quick scale
 //	xcclbench -exp all -scale full # the paper's full configurations
 //	xcclbench -exp all -parallel 1 # force a serial run
+//	xcclbench -exp fig6 -hier      # hierarchical collectives on the hybrid series
 //	xcclbench -list                # enumerate experiment ids
 //
 // Experiment ids follow the paper: table1, fig1a, fig1b, fig3, fig4, fig5,
@@ -55,7 +56,11 @@ func main() {
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	crash := flag.String("crash", "",
 		"override the elastic exhibit's fail-stop injection as rank@step (e.g. 3@2)")
+	hier := flag.Bool("hier", false,
+		"run the hybrid-xCCL series with topology-aware hierarchical collectives (multi-node exhibits)")
 	flag.Parse()
+
+	experiments.SetHierarchical(*hier)
 
 	if *crash != "" {
 		var rank, step int

@@ -13,10 +13,37 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"mpixccl/internal/core"
 	"mpixccl/internal/omb"
 )
+
+// parseChunks parses a comma-separated chunk-size list with optional K/M
+// binary suffixes, e.g. "256K,1M" or "65536,262144".
+func parseChunks(s string) ([]int64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int64
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		mult := int64(1)
+		switch {
+		case strings.HasSuffix(f, "K"), strings.HasSuffix(f, "k"):
+			mult, f = 1<<10, f[:len(f)-1]
+		case strings.HasSuffix(f, "M"), strings.HasSuffix(f, "m"):
+			mult, f = 1<<20, f[:len(f)-1]
+		}
+		n, err := strconv.ParseInt(f, 10, 64)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad chunk size %q", f)
+		}
+		out = append(out, n*mult)
+	}
+	return out, nil
+}
 
 func main() {
 	system := flag.String("system", "thetagpu", "thetagpu|mri|voyager")
@@ -25,13 +52,23 @@ func main() {
 	backend := flag.String("backend", "auto", "auto|nccl|rccl|hccl|msccl")
 	min := flag.Int64("min", 64, "min message bytes")
 	max := flag.Int64("max", 4<<20, "max message bytes")
+	chunksFlag := flag.String("chunks", "",
+		"comma-separated hierarchical pipeline chunk sizes to sweep, K/M suffixes allowed (default 256K,1M)")
+	noAlgo := flag.Bool("no-algo-sweep", false,
+		"restrict tuning to the binary MPI/CCL decision (v1 behavior)")
 	out := flag.String("o", "", "output file (default stdout)")
 	flag.Parse()
 
+	chunks, err := parseChunks(*chunksFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xccltuner: %v\n", err)
+		os.Exit(2)
+	}
 	table, err := omb.Tune(omb.Config{
 		System: *system, Nodes: *nodes, Ranks: *ranks,
 		Backend:  core.BackendKind(*backend),
 		MinBytes: *min, MaxBytes: *max, Iterations: 2,
+		ChunkSweep: chunks, NoAlgoSweep: *noAlgo,
 	}, nil)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "xccltuner: %v\n", err)

@@ -55,7 +55,8 @@ func (c *Comm) enqueueColl(s *device.Stream, name string, a *opArgs, bytes int64
 	rank := c.rank
 	co := c.core
 	return s.Enqueue(fmt.Sprintf("%s/%s/r%d", co.cfg.Name, name, rank), func(p *sim.Proc) {
-		rc := &runCtx{co: co, st: st, rank: rank, p: p}
+		rc := co.getCtx(st, rank, p)
+		defer co.putCtx(rc)
 		c.delay(p, name) // injected straggler latency, if any
 		rc.launch(bytes)
 		if co.watchdog > 0 {
@@ -77,24 +78,63 @@ func (c *Comm) enqueueColl(s *device.Stream, name string, a *opArgs, bytes int64
 	})
 }
 
+// resolveAlgo maps the forced schedule family (SetAlgorithm) onto what
+// this call can actually run, degenerating gracefully: hierarchical on a
+// shape without a node hierarchy (or an empty payload) falls back to the
+// built-in auto split, and a forced flat ring with fewer elements than
+// ranks runs the tree instead (the ring needs one segment per rank).
+func (c *Comm) resolveAlgo(count int) (Algorithm, int64) {
+	algo := c.algo
+	if algo == AlgoAuto {
+		return AlgoAuto, 0
+	}
+	switch algo {
+	case AlgoHierarchical:
+		if count == 0 || !c.core.hier().ok {
+			return AlgoAuto, 0
+		}
+	case AlgoFlatRing:
+		if count < c.core.n {
+			return AlgoTree, 0
+		}
+	}
+	return algo, c.hierChunk()
+}
+
 // AllReduce combines send into recv across all ranks with op. Large
 // payloads run the multi-channel ring (reduce-scatter + allgather); small
 // payloads run a latency-oriented binomial tree (reduce + broadcast),
-// mirroring NCCL's ring/tree split.
+// mirroring NCCL's ring/tree split. A forced algorithm (SetAlgorithm, fed
+// by the tuning table) overrides the split and any custom MSCCL schedule.
 func (c *Comm) AllReduce(send, recv *device.Buffer, count int, dt Datatype, op RedOp, s *device.Stream) error {
 	if err := c.validate("allreduce", send, recv, count, dt, &op, 0); err != nil {
 		return err
 	}
 	bytes := int64(count) * int64(dt.Size())
-	a := &opArgs{send: send, recv: recv, count: count}
+	a := c.core.newArgs(send, recv, count, 0)
+	algo, chunk := c.resolveAlgo(count)
 	tree := bytes <= c.core.cfg.TreeThreshold || count < c.core.n
-	custom := c.core.findAlgo("allreduce", bytes)
-	if custom != nil && count < custom.NChunks {
-		custom = nil // too few elements to partition
+	var custom *Algo
+	if algo == AlgoAuto {
+		custom = c.core.findAlgo("allreduce", bytes)
+		if custom != nil && count < custom.NChunks {
+			custom = nil // too few elements to partition
+		}
 	}
 	c.enqueueColl(s, "allreduce", a, bytes, func(rc *runCtx, a *opArgs) {
 		if rc.co.n == 1 {
 			rc.localCopy(a.recv, a.send, bytes)
+			return
+		}
+		switch algo {
+		case AlgoHierarchical:
+			rc.hierAllReduce(dt, op, count, chunk)
+			return
+		case AlgoTree:
+			rc.treeAllReduce(dt, op, count)
+			return
+		case AlgoFlatRing:
+			rc.ringAllReduce(dt, op, count)
 			return
 		}
 		if custom != nil {
@@ -117,8 +157,13 @@ func (c *Comm) Broadcast(send, recv *device.Buffer, count int, dt Datatype, root
 		return err
 	}
 	bytes := int64(count) * int64(dt.Size())
-	a := &opArgs{send: send, recv: recv, count: count, root: root}
+	a := c.core.newArgs(send, recv, count, root)
+	algo, chunk := c.resolveAlgo(count)
 	c.enqueueColl(s, "broadcast", a, bytes, func(rc *runCtx, a *opArgs) {
+		if algo == AlgoHierarchical && rc.co.n > 1 {
+			rc.hierBroadcast(dt, count, root, chunk)
+			return
+		}
 		rc.treeBroadcast(dt, count, root)
 	})
 	return nil
@@ -130,7 +175,7 @@ func (c *Comm) Reduce(send, recv *device.Buffer, count int, dt Datatype, op RedO
 		return err
 	}
 	bytes := int64(count) * int64(dt.Size())
-	a := &opArgs{send: send, recv: recv, count: count, root: root}
+	a := c.core.newArgs(send, recv, count, root)
 	c.enqueueColl(s, "reduce", a, bytes, func(rc *runCtx, a *opArgs) {
 		rc.treeReduce(dt, op, count, root)
 	})
@@ -147,8 +192,13 @@ func (c *Comm) AllGather(send, recv *device.Buffer, count int, dt Datatype, s *d
 	if recv.Len() < bytes*int64(c.core.n) {
 		return &Error{Backend: c.core.cfg.Name, Result: ErrInvalidArgument, Msg: "allgather recv buffer too small"}
 	}
-	a := &opArgs{send: send, recv: recv, count: count}
+	a := c.core.newArgs(send, recv, count, 0)
+	algo, chunk := c.resolveAlgo(count)
 	c.enqueueColl(s, "allgather", a, bytes, func(rc *runCtx, a *opArgs) {
+		if algo == AlgoHierarchical && rc.co.n > 1 {
+			rc.hierAllGather(dt, count, chunk)
+			return
+		}
 		rc.ringAllGather(dt, count)
 	})
 	return nil
@@ -164,8 +214,13 @@ func (c *Comm) ReduceScatter(send, recv *device.Buffer, recvCount int, dt Dataty
 	if send.Len() < bytes*int64(c.core.n) {
 		return &Error{Backend: c.core.cfg.Name, Result: ErrInvalidArgument, Msg: "reducescatter send buffer too small"}
 	}
-	a := &opArgs{send: send, recv: recv, count: recvCount}
+	a := c.core.newArgs(send, recv, recvCount, 0)
+	algo, chunk := c.resolveAlgo(recvCount)
 	c.enqueueColl(s, "reducescatter", a, bytes, func(rc *runCtx, a *opArgs) {
+		if algo == AlgoHierarchical && rc.co.n > 1 {
+			rc.hierReduceScatter(dt, op, recvCount, chunk)
+			return
+		}
 		rc.ringReduceScatter(dt, op, recvCount)
 	})
 	return nil

@@ -292,6 +292,12 @@ type Config struct {
 	Channels int
 	// ChunkBytes is the pipeline chunk for transfers.
 	ChunkBytes int64
+	// HierChunkBytes is the default pipeline chunk for the hierarchical
+	// collectives: the payload slice that flows through the intra-node →
+	// inter-node → fan-out phases as one pipeline stage. Smaller chunks
+	// overlap more but pay more per-hop step costs; the offline tuner
+	// sweeps this per backend. 0 selects a 1 MiB default.
+	HierChunkBytes int64
 	// TreeThreshold is the payload size below which latency-oriented tree
 	// algorithms replace bandwidth-oriented rings.
 	TreeThreshold int64

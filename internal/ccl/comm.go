@@ -34,6 +34,44 @@ type core struct {
 	opOK [int(Min) + 1]bool
 
 	putNames map[[2]int]string // memoized putAsync process names
+
+	hierCache *hierPlan // lazily built node hierarchy (see hier.go)
+
+	// Free lists for the per-collective hot-path objects. Every collective
+	// allocates one opArgs per rank and one runCtx per stream task (plus one
+	// per putAsync helper); recycling them through the shared core keeps the
+	// enqueue path's steady-state allocation rate flat. Safe without locks:
+	// sim procs are serialized by the scheduler token.
+	argsFree []*opArgs
+	ctxFree  []*runCtx
+}
+
+// newArgs returns a recycled (or fresh) opArgs holding the call arguments.
+func (co *core) newArgs(send, recv *device.Buffer, count, root int) *opArgs {
+	if n := len(co.argsFree); n > 0 {
+		a := co.argsFree[n-1]
+		co.argsFree = co.argsFree[:n-1]
+		*a = opArgs{send: send, recv: recv, count: count, root: root}
+		return a
+	}
+	return &opArgs{send: send, recv: recv, count: count, root: root}
+}
+
+// getCtx returns a recycled (or fresh) runCtx for one process's part of a
+// collective. Return it with putCtx when the process is done with it.
+func (co *core) getCtx(st *opState, rank int, p *sim.Proc) *runCtx {
+	if n := len(co.ctxFree); n > 0 {
+		rc := co.ctxFree[n-1]
+		co.ctxFree = co.ctxFree[:n-1]
+		*rc = runCtx{co: co, st: st, rank: rank, p: p}
+		return rc
+	}
+	return &runCtx{co: co, st: st, rank: rank, p: p}
+}
+
+func (co *core) putCtx(rc *runCtx) {
+	*rc = runCtx{}
+	co.ctxFree = append(co.ctxFree, rc)
 }
 
 // supportsDatatype is the cached form of cfg.Datatypes[dt].
@@ -114,6 +152,10 @@ type Comm struct {
 	// call has already returned. Callers collect it with TakeAsyncErr
 	// after synchronizing the stream.
 	asyncErr error
+	// algo/algoChunk force a schedule family for this rank's collectives
+	// (SetAlgorithm); the zero values keep the built-in size-based split.
+	algo      Algorithm
+	algoChunk int64
 }
 
 type groupOps struct {
@@ -321,13 +363,21 @@ func (co *core) join(seq, rank int, a *opArgs) *opState {
 	return st
 }
 
-// finish releases op state once every rank's task completed.
+// finish releases op state once every rank's task completed, recycling the
+// per-rank argument records onto the core free list.
 func (co *core) finish(st *opState) {
 	st.done++
 	if st.done == co.n {
 		for _, pp := range st.pipes {
 			for _, s := range pp.slots {
 				s.Free()
+			}
+		}
+		for i, a := range st.args {
+			if a != nil {
+				st.args[i] = nil
+				*a = opArgs{}
+				co.argsFree = append(co.argsFree, a)
 			}
 		}
 		delete(co.ops, st.seq)
@@ -404,9 +454,11 @@ func (rc *runCtx) xfer(dst, src *device.Buffer, n int64) {
 func (rc *runCtx) putAsync(to int, src *device.Buffer, n int64, slotBytes int64) *sim.Counter {
 	k := rc.p.Kernel()
 	done := sim.NewCounter(k, 1)
-	k.Spawn(rc.co.putName(rc.rank, to), func(p *sim.Proc) {
-		sub := &runCtx{co: rc.co, st: rc.st, rank: rc.rank, p: p}
+	co, st, rank := rc.co, rc.st, rc.rank // rc may be recycled before p runs
+	k.Spawn(co.putName(rank, to), func(p *sim.Proc) {
+		sub := co.getCtx(st, rank, p)
 		sub.put(to, src, n, slotBytes)
+		co.putCtx(sub)
 		done.Done()
 	})
 	return done

@@ -28,11 +28,12 @@ func Config() ccl.Config {
 		Ops: map[ccl.RedOp]bool{
 			ccl.Sum: true, ccl.Prod: true, ccl.Max: true, ccl.Min: true,
 		},
-		Launch:        270 * time.Microsecond,
-		StepCost:      4 * time.Microsecond,
-		Channels:      3,
-		ChunkBytes:    256 << 10,
-		TreeThreshold: 64 << 10,
+		Launch:         270 * time.Microsecond,
+		StepCost:       4 * time.Microsecond,
+		Channels:       3,
+		ChunkBytes:     256 << 10,
+		HierChunkBytes: 512 << 10,
+		TreeThreshold:  64 << 10,
 		// RoCE work-request descriptors inline payloads up to 16 B; up to
 		// 64 B they ride a single WQE with a doorbell; beyond that the
 		// transport sets up a registered-buffer RDMA — each boundary adds

@@ -1,0 +1,198 @@
+package ccl_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"testing"
+
+	"mpixccl/internal/ccl"
+	"mpixccl/internal/ccl/nccl"
+	"mpixccl/internal/device"
+	"mpixccl/internal/elem"
+	"mpixccl/internal/sim"
+)
+
+// hierCase is one collective call issued by every rank of the property
+// test. The same case list runs once with the flat (auto) algorithms and
+// once forced hierarchical; the recv buffers must match bytewise.
+type hierCase struct {
+	coll  string // allreduce | broadcast | allgather | reducescatter
+	dt    ccl.Datatype
+	kind  elem.Kind
+	op    ccl.RedOp
+	count int
+	root  int
+}
+
+// hierCases builds the sweep: every datatype × reduction × uneven count
+// for allreduce, plus broadcast (leader and non-leader roots), allgather,
+// and reducescatter coverage. Values are chosen so every reduction is
+// exact under any association order (see hierFill), making bytewise
+// comparison valid even for the reassociating hierarchical schedules.
+func hierCases(nranks int) []hierCase {
+	dts := []struct {
+		dt   ccl.Datatype
+		kind elem.Kind
+	}{
+		{ccl.Int8, elem.U8}, {ccl.Int32, elem.I32}, {ccl.Int64, elem.I64},
+		{ccl.Float16, elem.F16}, {ccl.Float32, elem.F32}, {ccl.Float64, elem.F64},
+	}
+	ops := []ccl.RedOp{ccl.Sum, ccl.Prod, ccl.Max, ccl.Min}
+	counts := []int{1, 7, 4097} // deliberately not multiples of ranks or chunks
+	var cases []hierCase
+	for _, d := range dts {
+		for _, op := range ops {
+			for _, n := range counts {
+				cases = append(cases, hierCase{coll: "allreduce", dt: d.dt, kind: d.kind, op: op, count: n})
+			}
+		}
+	}
+	for _, root := range []int{0, nranks - 1} {
+		for _, n := range []int{1, 4097} {
+			cases = append(cases, hierCase{coll: "broadcast", dt: ccl.Int64, kind: elem.I64, count: n, root: root})
+		}
+	}
+	for _, n := range counts {
+		cases = append(cases, hierCase{coll: "allgather", dt: ccl.Int32, kind: elem.I32, count: n})
+	}
+	for _, op := range ops {
+		cases = append(cases, hierCase{coll: "reducescatter", dt: ccl.Float64, kind: elem.F64, op: op, count: 7})
+	}
+	return cases
+}
+
+// hierFill writes rank r's deterministic payload. Sum/max/min values are
+// small integers (exact in every datatype, sums bounded well below the
+// float16 integer range and the uint8 clamp); prod values are 1 or 2, so
+// any partial product divides the total and stays exact regardless of how
+// the schedule associates the reduction.
+func hierFill(buf *device.Buffer, kind elem.Kind, count, r int, op ccl.RedOp) {
+	for i := 0; i < count; i++ {
+		v := (r*31 + i*7) % 8
+		if op == ccl.Prod {
+			v = 1 + (r+i)%2
+		}
+		elem.Set(kind, buf.Bytes(), i, float64(v), 0)
+	}
+}
+
+// runHierSchedule executes the case list under one forced algorithm and
+// returns every case's recv contents per rank.
+func runHierSchedule(t *testing.T, nranks int, algo ccl.Algorithm, chunk int64) [][][]byte {
+	t.Helper()
+	cases := hierCases(nranks)
+	h := newHarness(t, "thetagpu", nranks, nccl.New)
+	out := make([][][]byte, len(cases))
+	for i := range out {
+		out[i] = make([][]byte, nranks)
+	}
+	h.runRanks(t, func(r int, c *ccl.Comm, s *device.Stream, p *sim.Proc) {
+		c.SetAlgorithm(algo, chunk)
+		for ci, cs := range cases {
+			esz := int64(cs.dt.Size())
+			n := int64(cs.count) * esz
+			var send, recv *device.Buffer
+			var err error
+			switch cs.coll {
+			case "allreduce":
+				send, recv = c.Device().MustMalloc(n), c.Device().MustMalloc(n)
+				hierFill(send, cs.kind, cs.count, r, cs.op)
+				err = c.AllReduce(send, recv, cs.count, cs.dt, cs.op, s)
+			case "broadcast":
+				send, recv = c.Device().MustMalloc(n), c.Device().MustMalloc(n)
+				if r == cs.root {
+					hierFill(send, cs.kind, cs.count, r, cs.op)
+				}
+				err = c.Broadcast(send, recv, cs.count, cs.dt, cs.root, s)
+			case "allgather":
+				send, recv = c.Device().MustMalloc(n), c.Device().MustMalloc(n*int64(nranks))
+				hierFill(send, cs.kind, cs.count, r, cs.op)
+				err = c.AllGather(send, recv, cs.count, cs.dt, s)
+			case "reducescatter":
+				send, recv = c.Device().MustMalloc(n*int64(nranks)), c.Device().MustMalloc(n)
+				hierFill(send, cs.kind, cs.count*nranks, r, cs.op)
+				err = c.ReduceScatter(send, recv, cs.count, cs.dt, cs.op, s)
+			}
+			if err != nil {
+				t.Errorf("case %d (%s): %v", ci, cs.coll, err)
+				return
+			}
+			s.Synchronize(p)
+			out[ci][r] = append([]byte(nil), recv.Bytes()...)
+			send.Free()
+			recv.Free()
+		}
+	})
+	return out
+}
+
+// TestHierarchicalMatchesFlat is the property test: forced-hierarchical
+// collectives must produce bytewise the results of the flat algorithms,
+// across datatypes, reductions, uneven counts, uneven nodes (12 ranks on
+// 8-GPU nodes = 8+4), and single-node shapes where hierarchical must
+// degenerate to the flat path.
+func TestHierarchicalMatchesFlat(t *testing.T) {
+	shapes := []struct {
+		nranks int
+		chunk  int64 // forced pipeline chunk; 0 = backend default
+	}{
+		{16, 1024}, // 2 even nodes, many small chunks
+		{16, 0},    // 2 even nodes, backend default chunk
+		{12, 1024}, // 2 uneven nodes (8 + 4)
+		{8, 1024},  // 1 node: hierarchical must degenerate to flat
+		{3, 1024},  // 1 node, non-power-of-two
+	}
+	for _, sh := range shapes {
+		sh := sh
+		t.Run(fmt.Sprintf("ranks=%d/chunk=%d", sh.nranks, sh.chunk), func(t *testing.T) {
+			flat := runHierSchedule(t, sh.nranks, ccl.AlgoAuto, 0)
+			hier := runHierSchedule(t, sh.nranks, ccl.AlgoHierarchical, sh.chunk)
+			cases := hierCases(sh.nranks)
+			for ci := range cases {
+				for r := 0; r < sh.nranks; r++ {
+					if !bytes.Equal(flat[ci][r], hier[ci][r]) {
+						t.Errorf("case %d (%s %v op=%v count=%d root=%d) rank %d: hierarchical != flat",
+							ci, cases[ci].coll, cases[ci].dt, cases[ci].op, cases[ci].count, cases[ci].root, r)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestForcedFlatAlgorithms pins the remaining selector values: a forced
+// flat ring must match auto at a large count, a forced tree at any count,
+// and a forced ring with fewer elements than ranks must degrade to the
+// tree rather than schedule empty ring segments.
+func TestForcedFlatAlgorithms(t *testing.T) {
+	const nranks = 8
+	for _, algo := range []ccl.Algorithm{ccl.AlgoFlatRing, ccl.AlgoTree} {
+		for _, count := range []int{3, 1024} {
+			h := newHarness(t, "thetagpu", nranks, nccl.New)
+			results := make([][]byte, nranks)
+			h.runRanks(t, func(r int, c *ccl.Comm, s *device.Stream, p *sim.Proc) {
+				c.SetAlgorithm(algo, 0)
+				send, recv := c.Device().MustMalloc(int64(count)*4), c.Device().MustMalloc(int64(count)*4)
+				hierFill(send, elem.I32, count, r, ccl.Sum)
+				if err := c.AllReduce(send, recv, count, ccl.Int32, ccl.Sum, s); err != nil {
+					t.Errorf("allreduce: %v", err)
+					return
+				}
+				s.Synchronize(p)
+				results[r] = append([]byte(nil), recv.Bytes()...)
+			})
+			for i := 0; i < count; i++ {
+				want := int32(0)
+				for r := 0; r < nranks; r++ {
+					want += int32((r*31 + i*7) % 8)
+				}
+				for r := 0; r < nranks; r++ {
+					if got := int32(binary.LittleEndian.Uint32(results[r][i*4:])); got != want {
+						t.Fatalf("algo=%v count=%d rank=%d elem %d = %d, want %d", algo, count, r, i, got, want)
+					}
+				}
+			}
+		}
+	}
+}

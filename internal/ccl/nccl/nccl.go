@@ -46,6 +46,7 @@ func VersionConfig(version string) ccl.Config {
 		StepCost:         1200 * time.Nanosecond,
 		Channels:         12,
 		ChunkBytes:       512 << 10,
+		HierChunkBytes:   1 << 20,
 		TreeThreshold:    256 << 10,
 		InterNodePenalty: 1.0,
 	}

@@ -34,6 +34,7 @@ func Config() ccl.Config {
 		StepCost:         1400 * time.Nanosecond,
 		Channels:         8,
 		ChunkBytes:       512 << 10,
+		HierChunkBytes:   1 << 20,
 		TreeThreshold:    128 << 10,
 		InterNodePenalty: 1.15, // early Slingshot provider inefficiency
 	}

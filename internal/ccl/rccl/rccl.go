@@ -32,9 +32,10 @@ func Config() ccl.Config {
 		// Four rails: intra-node PCIe clamps transfers to its two lanes,
 		// but across nodes RCCL drives all four HDR rails — which is why
 		// it overtakes the 2-rail MPI path for large messages (Fig 1b).
-		Channels:      4,
-		ChunkBytes:    256 << 10,
-		TreeThreshold: 64 << 10,
+		Channels:       4,
+		ChunkBytes:     256 << 10,
+		HierChunkBytes: 512 << 10,
+		TreeThreshold:  64 << 10,
 		// RCCL's IB verbs transport still trails tuned MPI RDMA slightly.
 		InterNodePenalty: 1.25,
 	}

@@ -80,6 +80,7 @@ func (x *Comm) Allreduce(sendBuf, recvBuf *device.Buffer, count int, dt mpi.Data
 	d := x.decide(OpAllreduce, bytes, dt, &op, sendBuf, recvBuf)
 	x.run(OpAllreduce, bytes, d,
 		func(cc *ccl.Comm, s *device.Stream) error {
+			cc.SetAlgorithm(d.algo, d.chunk)
 			return cc.AllReduce(sendBuf, recvBuf, count, d.dt, d.op, s)
 		},
 		func() { x.mpi.Allreduce(sendBuf, recvBuf, count, dt, op) })
@@ -91,6 +92,7 @@ func (x *Comm) Bcast(buf *device.Buffer, count int, dt mpi.Datatype, root int) {
 	d := x.decide(OpBcast, bytes, dt, nil, buf)
 	x.run(OpBcast, bytes, d,
 		func(cc *ccl.Comm, s *device.Stream) error {
+			cc.SetAlgorithm(d.algo, d.chunk)
 			return cc.Broadcast(buf, buf, count, d.dt, root, s)
 		},
 		func() { x.mpi.Bcast(buf, count, dt, root) })
@@ -113,6 +115,7 @@ func (x *Comm) Reduce(sendBuf, recvBuf *device.Buffer, count int, dt mpi.Datatyp
 	}
 	x.run(OpReduce, bytes, d,
 		func(cc *ccl.Comm, s *device.Stream) error {
+			cc.SetAlgorithm(d.algo, d.chunk)
 			return cc.Reduce(sendBuf, target, count, d.dt, d.op, root, s)
 		},
 		func() { x.mpi.Reduce(sendBuf, recvBuf, count, dt, op, root) })
@@ -125,6 +128,7 @@ func (x *Comm) Allgather(sendBuf *device.Buffer, count int, dt mpi.Datatype, rec
 	d := x.decide(OpAllgather, bytes, dt, nil, sendBuf, recvBuf)
 	x.run(OpAllgather, bytes, d,
 		func(cc *ccl.Comm, s *device.Stream) error {
+			cc.SetAlgorithm(d.algo, d.chunk)
 			return cc.AllGather(sendBuf, recvBuf, count, d.dt, s)
 		},
 		func() { x.mpi.Allgather(sendBuf, count, dt, recvBuf) })
@@ -137,6 +141,7 @@ func (x *Comm) ReduceScatterBlock(sendBuf, recvBuf *device.Buffer, count int, dt
 	d := x.decide(OpReduceScatter, bytes, dt, &op, sendBuf, recvBuf)
 	x.run(OpReduceScatter, bytes, d,
 		func(cc *ccl.Comm, s *device.Stream) error {
+			cc.SetAlgorithm(d.algo, d.chunk)
 			return cc.ReduceScatter(sendBuf, recvBuf, count, d.dt, d.op, s)
 		},
 		func() { x.mpi.ReduceScatterBlock(sendBuf, recvBuf, count, dt, op) })

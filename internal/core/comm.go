@@ -149,6 +149,24 @@ type decision struct {
 	useCCL bool
 	dt     ccl.Datatype
 	op     ccl.RedOp
+	// algo/chunk carry the tuned band's forced CCL schedule family
+	// (ccl.AlgoAuto = the backend's built-in split) and hierarchical
+	// pipeline chunk.
+	algo  ccl.Algorithm
+	chunk int64
+}
+
+// mapAlgo translates a tuning-table algorithm name into the CCL selector.
+func mapAlgo(a Algo) ccl.Algorithm {
+	switch a {
+	case AlgoFlatRing:
+		return ccl.AlgoFlatRing
+	case AlgoTree:
+		return ccl.AlgoTree
+	case AlgoHierarchical:
+		return ccl.AlgoHierarchical
+	}
+	return ccl.AlgoAuto
 }
 
 // decide runs the §3.1–§3.4 checks: device-buffer identify, datatype and
@@ -191,14 +209,19 @@ func (x *Comm) decide(op OpKind, bytes int64, dt mpi.Datatype, rop *mpi.Op, bufs
 			return decision{}
 		}
 	}
+	d := decision{useCCL: true, dt: cdt, op: cop}
 	if rt.opts.Mode == Hybrid {
-		path, hit := rt.table.LookupDetail(op, bytes)
-		rt.countTuning(op, path, hit)
-		if path == PathMPI {
+		th, hit := rt.table.Choice(op, bytes)
+		rt.countTuning(op, th.Path, hit)
+		if th.Path == PathMPI {
 			return decision{}
 		}
+		d.algo, d.chunk = mapAlgo(th.Algo), th.ChunkBytes
+		if th.Algo != AlgoAuto {
+			rt.countAlgoChoice(op, th.Algo)
+		}
 	}
-	return decision{useCCL: true, dt: cdt, op: cop}
+	return d
 }
 
 // runCCL executes fn against the cached CCL communicator and this rank's

@@ -40,17 +40,52 @@ func (p Path) String() string {
 	return "mpi"
 }
 
+// Algo names the CCL algorithm family a tuned band forces. The empty
+// string ("auto") keeps the backend's built-in size-based split — the only
+// choice version-1 tables could express.
+type Algo string
+
+// Tunable algorithm families for CCL-path bands.
+const (
+	AlgoAuto         Algo = ""
+	AlgoFlatRing     Algo = "flat-ring"
+	AlgoTree         Algo = "tree"
+	AlgoHierarchical Algo = "hierarchical"
+)
+
+// ParseAlgo validates an algorithm name from a serialized table.
+func ParseAlgo(s string) (Algo, error) {
+	switch a := Algo(s); a {
+	case AlgoAuto, AlgoFlatRing, AlgoTree, AlgoHierarchical:
+		return a, nil
+	case "auto":
+		return AlgoAuto, nil
+	}
+	return AlgoAuto, fmt.Errorf("xccl: unknown algorithm %q", s)
+}
+
+// TableVersion is the current tuning-table schema: version 2 added the
+// per-band algorithm selector and pipeline chunk size. Version-1 tables
+// (no version field) parse unchanged — their bands read as algo "auto".
+const TableVersion = 2
+
 // Threshold maps payload sizes up to MaxBytes (inclusive; 0 = unbounded)
 // to a path. Entries in a rule are sorted ascending with the unbounded
-// entry last.
+// entry last. CCL-path bands may additionally force an algorithm family
+// and, for the hierarchical pipeline, a chunk size.
 type Threshold struct {
 	MaxBytes int64 `json:"max_bytes"`
 	Path     Path  `json:"path"`
+	// Algo forces a CCL schedule family for this band ("" = backend auto).
+	Algo Algo `json:"algo,omitempty"`
+	// ChunkBytes is the hierarchical pipeline chunk (0 = backend default).
+	ChunkBytes int64 `json:"chunk_bytes,omitempty"`
 }
 
 // TuningTable is the offline-tuned dispatch policy of §3.4: per operation,
 // size-banded path choices for one (system, backend) pair.
 type TuningTable struct {
+	Version int                    `json:"version,omitempty"`
 	System  string                 `json:"system"`
 	Backend string                 `json:"backend"`
 	Rules   map[OpKind][]Threshold `json:"rules"`
@@ -67,19 +102,27 @@ func (t *TuningTable) Lookup(op OpKind, bytes int64) Path {
 // or the table fell through to the CCL default (false) — the hit/miss
 // split the tuning-lookup metrics report.
 func (t *TuningTable) LookupDetail(op OpKind, bytes int64) (Path, bool) {
+	th, hit := t.Choice(op, bytes)
+	return th.Path, hit
+}
+
+// Choice returns the full tuned band for an operation at a payload size
+// — path plus any forced algorithm and chunk. A miss (no rule, or no band
+// covering the size) returns the CCL-default band with hit=false.
+func (t *TuningTable) Choice(op OpKind, bytes int64) (Threshold, bool) {
 	if t == nil {
-		return PathCCL, false
+		return Threshold{Path: PathCCL}, false
 	}
 	rule, ok := t.Rules[op]
 	if !ok {
-		return PathCCL, false
+		return Threshold{Path: PathCCL}, false
 	}
 	for _, th := range rule {
 		if th.MaxBytes == 0 || bytes <= th.MaxBytes {
-			return th.Path, true
+			return th, true
 		}
 	}
-	return PathCCL, false
+	return Threshold{Path: PathCCL}, false
 }
 
 // Set installs a rule, keeping thresholds sorted (unbounded entry last).
@@ -101,14 +144,35 @@ func (t *TuningTable) Set(op OpKind, rule []Threshold) {
 	t.Rules[op] = sorted
 }
 
-// MarshalJSON round-trips through a stable representation.
-func (t *TuningTable) JSON() ([]byte, error) { return json.MarshalIndent(t, "", "  ") }
+// JSON serializes the table in the xccltuner output format, stamped with
+// the current schema version.
+func (t *TuningTable) JSON() ([]byte, error) {
+	out := *t
+	out.Version = TableVersion
+	return json.MarshalIndent(&out, "", "  ")
+}
 
-// ParseTable loads a table from JSON (the xccltuner output format).
+// ParseTable loads a table from JSON (the xccltuner output format). Tables
+// from older schema versions (including unversioned v1 tables) load
+// unchanged; tables from a newer schema are rejected rather than silently
+// misread. Algorithm names are validated per band.
 func ParseTable(data []byte) (*TuningTable, error) {
 	var t TuningTable
 	if err := json.Unmarshal(data, &t); err != nil {
 		return nil, fmt.Errorf("xccl: parse tuning table: %w", err)
+	}
+	if t.Version > TableVersion {
+		return nil, fmt.Errorf("xccl: tuning table version %d is newer than supported version %d",
+			t.Version, TableVersion)
+	}
+	for op, rule := range t.Rules {
+		for i, th := range rule {
+			a, err := ParseAlgo(string(th.Algo))
+			if err != nil {
+				return nil, fmt.Errorf("xccl: tuning table rule %s band %d: %w", op, i, err)
+			}
+			rule[i].Algo = a
+		}
 	}
 	return &t, nil
 }
@@ -181,6 +245,27 @@ func DefaultTableFor(system string, backend BackendKind, multiNode bool) *Tuning
 		for _, op := range []OpKind{OpAllreduce, OpReduce, OpBcast, OpAllgather,
 			OpAlltoall, OpAlltoallv, OpReduceScatter, OpGather, OpScatter} {
 			t.Set(op, crossover(32<<10))
+		}
+	}
+	return t
+}
+
+// HierarchicalTableFor returns the builtin table with every CCL band of
+// the collectives that have a hierarchical schedule (allreduce, bcast,
+// allgather, reducescatter) upgraded to force it — the shape the offline
+// tuner converges to on systems whose intra-node fabric outruns the
+// inter-node links. chunkBytes sets the pipeline chunk (0 = the backend's
+// HierChunkBytes default). Safe on any shape: the CCL layer degenerates
+// hierarchical to the flat algorithms when the job spans a single node.
+func HierarchicalTableFor(system string, backend BackendKind, multiNode bool, chunkBytes int64) *TuningTable {
+	t := DefaultTableFor(system, backend, multiNode)
+	for _, op := range []OpKind{OpAllreduce, OpBcast, OpAllgather, OpReduceScatter} {
+		rule := t.Rules[op]
+		for i := range rule {
+			if rule[i].Path == PathCCL {
+				rule[i].Algo = AlgoHierarchical
+				rule[i].ChunkBytes = chunkBytes
+			}
 		}
 	}
 	return t

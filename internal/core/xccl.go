@@ -290,6 +290,14 @@ func (rt *Runtime) countTuning(op OpKind, decision Path, hit bool) {
 		metrics.Labels{"op": string(op), "decision": decision.String(), "table": table}).Inc()
 }
 
+// countAlgoChoice bumps the algorithm-selection counter when a tuned band
+// forces a CCL schedule family (v2 tables; auto bands are not counted).
+func (rt *Runtime) countAlgoChoice(op OpKind, algo Algo) {
+	rt.opts.Metrics.Counter("xccl_algo_selections_total",
+		"CCL algorithm families forced by tuned table bands.",
+		metrics.Labels{"op": string(op), "algo": string(algo), "backend": string(rt.kind)}).Inc()
+}
+
 // Backend reports the resolved CCL backend.
 func (rt *Runtime) Backend() BackendKind { return rt.kind }
 

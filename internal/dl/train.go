@@ -79,6 +79,10 @@ type Config struct {
 	// CoordOverhead is Horovod's per-op negotiation/bookkeeping cost,
 	// paid by every engine.
 	CoordOverhead time.Duration
+	// Table overrides the xCCL runtime's tuning table (EngineXCCL only) —
+	// e.g. a hierarchical-collectives table from the offline tuner. nil
+	// keeps the builtin table for the (system, backend) pair.
+	Table *core.TuningTable
 	// Metrics, when non-nil, aggregates training-loop instrumentation:
 	// fusion-buffer fill levels, per-step duration, and per-bucket
 	// allreduce latency distributions (rank 0's view), plus the runtime
@@ -249,7 +253,7 @@ func launch(cfg *Config, k *sim.Kernel, sys *topology.System, fab *fabric.Fabric
 	case EngineXCCL:
 		job := mpi.NewJobOnSystem(fab, mpi.MVAPICHProfile(), sys, nranks)
 		rt, err := core.NewRuntime(job, core.Options{Backend: cfg.Backend, Mode: core.Hybrid,
-			Metrics: cfg.Metrics})
+			Table: cfg.Table, Metrics: cfg.Metrics})
 		if err != nil {
 			return err
 		}

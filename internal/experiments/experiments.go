@@ -53,6 +53,26 @@ type Figure struct {
 	Notes  []string
 }
 
+// hierEnabled switches the hybrid/xCCL series onto hierarchical tuning
+// tables (off by default so regenerated exhibits match the paper's flat
+// schedules byte for byte).
+var hierEnabled bool
+
+// SetHierarchical toggles topology-aware hierarchical collectives for the
+// hybrid-xCCL series of every figure: multi-node shapes run with
+// core.HierarchicalTableFor instead of the builtin default table. Call it
+// before Run/RunAll (the xcclbench -hier flag).
+func SetHierarchical(on bool) { hierEnabled = on }
+
+// hierTable returns the hierarchical tuning table for a shape, or nil when
+// the feature is off or the shape has no inter-node tier to exploit.
+func hierTable(system string, backend core.BackendKind, nodes int) *core.TuningTable {
+	if !hierEnabled || nodes <= 1 {
+		return nil
+	}
+	return core.HierarchicalTableFor(system, backend, true, 0)
+}
+
 // sweep returns the OMB size list for the scale.
 func sweep(scale Scale) (min, max int64) {
 	if scale == Full {
@@ -275,6 +295,9 @@ func collectives(id, title string, multi bool, scale Scale, reg *metrics.Registr
 				cfg := base
 				cfg.Stack = v.stack
 				cfg.Backend = v.bk
+				if v.label == "hybrid" {
+					cfg.Table = hierTable(spec.system, v.bk, nodes)
+				}
 				s, err := ombSeries(fmt.Sprintf("%s/%s/%s", spec.name, op, v.label), cfg, op)
 				if err != nil {
 					return nil, err
@@ -302,9 +325,13 @@ func dlFigure(id, title, system string, nodes int, backend core.BackendKind, eng
 	f := &Figure{ID: id, Title: title, XLabel: "batch", Metric: "img/s"}
 	for _, eng := range engines {
 		s := Series{Name: string(eng)}
+		var table *core.TuningTable
+		if eng == dl.EngineXCCL {
+			table = hierTable(system, backend, nodes)
+		}
 		for _, bs := range []int{32, 64, 128} {
 			rep, err := dl.Train(dl.Config{System: system, Nodes: nodes, BatchSize: bs,
-				Steps: 1, Engine: eng, Backend: backend, Metrics: reg})
+				Steps: 1, Engine: eng, Backend: backend, Table: table, Metrics: reg})
 			if err != nil {
 				return nil, err
 			}

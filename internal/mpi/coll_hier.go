@@ -1,6 +1,10 @@
 package mpi
 
-import "mpixccl/internal/device"
+import (
+	"sort"
+
+	"mpixccl/internal/device"
+)
 
 // Hierarchical (two-level) collectives, the MVAPICH-style optimization for
 // multi-node jobs: combine within each node over the fast intra-node
@@ -17,8 +21,12 @@ type nodePlan struct {
 	localIndex  int   // position of this rank within localRanks
 }
 
-// plan computes the hierarchy from device placement.
+// plan computes (and caches) the hierarchy from device placement. The
+// communicator group never changes, so the plan is built once per Comm.
 func (c *Comm) plan() nodePlan {
+	if c.hierPlan != nil {
+		return *c.hierPlan
+	}
 	byNode := map[int][]int{}
 	for r := 0; r < c.Size(); r++ {
 		n := c.RankDevice(r).Node
@@ -33,14 +41,8 @@ func (c *Comm) plan() nodePlan {
 		nodes = append(nodes, n)
 	}
 	// Leaders in node order; node ids are dense from the topology builder,
-	// but sort defensively via insertion over the map iteration.
-	for i := 0; i < len(nodes); i++ {
-		for j := i + 1; j < len(nodes); j++ {
-			if nodes[j] < nodes[i] {
-				nodes[i], nodes[j] = nodes[j], nodes[i]
-			}
-		}
-	}
+	// but sort defensively over the map iteration.
+	sort.Ints(nodes)
 	for i, n := range nodes {
 		p.leaders = append(p.leaders, byNode[n][0])
 		if n == myNode {
@@ -52,6 +54,7 @@ func (c *Comm) plan() nodePlan {
 			p.localIndex = i
 		}
 	}
+	c.hierPlan = &p
 	return p
 }
 

@@ -113,6 +113,9 @@ type Comm struct {
 	proc    *sim.Proc
 	dev     *device.Device
 	collSeq int
+	// hierPlan caches this rank's node hierarchy (coll_hier.go); a
+	// communicator's group is immutable, so it never invalidates.
+	hierPlan *nodePlan
 }
 
 // Rank returns the calling rank within this communicator.

@@ -74,6 +74,12 @@ type Config struct {
 	Iterations, Warmup int
 	// Table overrides the hybrid tuning table.
 	Table *core.TuningTable
+	// ChunkSweep lists the hierarchical pipeline chunk sizes Tune tries on
+	// multi-node shapes (nil = 256 KiB and 1 MiB).
+	ChunkSweep []int64
+	// NoAlgoSweep restricts Tune to the original binary MPI/CCL decision,
+	// skipping the hierarchical algorithm candidates.
+	NoAlgoSweep bool
 	// Metrics, when non-nil, aggregates the stack-under-test's runtime
 	// counters (dispatch paths, fallbacks, protocol choices, CCL launches)
 	// into the registry for post-run inspection.

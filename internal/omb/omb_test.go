@@ -373,3 +373,62 @@ func TestFullResultsMinMax(t *testing.T) {
 		t.Fatalf("expected rank spread on reduce, got min==max==%v", r.MinLatency)
 	}
 }
+
+func TestTuneSweepsHierarchical(t *testing.T) {
+	table, err := Tune(Config{System: "thetagpu", Nodes: 2,
+		MinBytes: 256 << 10, MaxBytes: 4 << 20, Iterations: 1}, []Collective{Allreduce})
+	if err != nil {
+		t.Fatal(err)
+	}
+	th, ok := table.Choice(core.OpAllreduce, 4<<20)
+	if !ok || th.Path != core.PathCCL {
+		t.Fatalf("tuner should pick CCL at 4MB on 2 nodes, got %+v (hit=%v)", th, ok)
+	}
+	if th.Algo != core.AlgoHierarchical {
+		t.Fatalf("tuner should pick the hierarchical schedule at 4MB, got %+v", th)
+	}
+	if th.ChunkBytes <= 0 {
+		t.Fatalf("hierarchical band must carry a chunk size, got %+v", th)
+	}
+	// The algorithm choice must survive a JSON round trip (v2 table format).
+	js, err := table.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := core.ParseTable(js)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th2, ok := loaded.Choice(core.OpAllreduce, 4<<20)
+	if !ok || th2 != th {
+		t.Fatalf("round-tripped band %+v != tuned band %+v", th2, th)
+	}
+	// Regression guard: the tuned table must not lose to the builtin default
+	// on the shape it was tuned for.
+	at4MB := func(tb *core.TuningTable) time.Duration {
+		res, err := RunCollective(Config{System: "thetagpu", Nodes: 2,
+			MinBytes: 4 << 20, MaxBytes: 4 << 20, Iterations: 2,
+			Stack: StackHybrid, Table: tb}, Allreduce)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res[0].Latency
+	}
+	tuned, builtin := at4MB(loaded), at4MB(nil)
+	if tuned >= builtin {
+		t.Errorf("tuned table must beat builtin at 4MB: tuned=%v builtin=%v", tuned, builtin)
+	}
+}
+
+func TestTuneNoAlgoSweep(t *testing.T) {
+	table, err := Tune(Config{System: "thetagpu", Nodes: 2, NoAlgoSweep: true,
+		MinBytes: 1 << 20, MaxBytes: 4 << 20, Iterations: 1}, []Collective{Allreduce})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, band := range table.Rules[core.OpAllreduce] {
+		if band.Algo != core.AlgoAuto || band.ChunkBytes != 0 {
+			t.Fatalf("NoAlgoSweep table must stay path-only, got %+v", band)
+		}
+	}
+}

@@ -6,14 +6,41 @@ import (
 	"mpixccl/internal/core"
 )
 
-// Tune performs the offline tuning of §3.4: for every operation it measures
-// the MPI path and the CCL path across the size sweep on the given system
-// shape and records which wins per size band, producing the tuning table
-// the hybrid runtime consults.
+// defaultChunkSweep is the hierarchical pipeline chunk sizes Tune tries
+// when the caller does not override Config.ChunkSweep.
+var defaultChunkSweep = []int64{256 << 10, 1 << 20}
+
+// hierOps marks the collectives with a hierarchical CCL schedule worth
+// sweeping (the rest only have the binary MPI/CCL decision).
+func hierOp(op Collective) bool {
+	switch op {
+	case Allreduce, Bcast, Allgather:
+		return true
+	}
+	return false
+}
+
+// tuneVariant is one CCL candidate in the sweep: the table band that
+// selects it and its measured per-size results.
+type tuneVariant struct {
+	band core.Threshold
+	res  []Result
+}
+
+// Tune performs the offline tuning of §3.4, extended with algorithm-level
+// selection: for every operation it measures the MPI path, the flat CCL
+// path, and — on multi-node shapes — the hierarchical CCL schedule at each
+// candidate pipeline chunk size, then records the winner per size band.
+// The resulting v2 table carries the algorithm family and chunk alongside
+// the MPI/CCL path, ready for the hybrid runtime to honor.
 func Tune(cfg Config, ops []Collective) (*core.TuningTable, error) {
 	cfg.fillDefaults()
 	if len(ops) == 0 {
 		ops = []Collective{Allreduce, Reduce, Bcast, Alltoall, Allgather}
+	}
+	chunks := cfg.ChunkSweep
+	if chunks == nil {
+		chunks = defaultChunkSweep
 	}
 	table := &core.TuningTable{System: cfg.System, Backend: string(cfg.Backend)}
 	for _, op := range ops {
@@ -29,20 +56,46 @@ func Tune(cfg Config, ops []Collective) (*core.TuningTable, error) {
 		if err != nil {
 			return nil, fmt.Errorf("tune %s (ccl): %w", op, err)
 		}
-		var rule []core.Threshold
-		var lastPath core.Path = -1
-		for i := range mpiRes {
-			path := core.PathMPI
-			if i < len(cclRes) && cclRes[i].Latency < mpiRes[i].Latency {
-				path = core.PathCCL
+		variants := []tuneVariant{{band: core.Threshold{Path: core.PathCCL}, res: cclRes}}
+		if !cfg.NoAlgoSweep && cfg.Nodes > 1 && hierOp(op) {
+			for _, chunk := range chunks {
+				band := core.Threshold{Path: core.PathCCL,
+					Algo: core.AlgoHierarchical, ChunkBytes: chunk}
+				// Force the candidate through a single-band table on the
+				// hybrid stack — the exact dispatch plumbing production
+				// tables use, so measurements include its overheads.
+				forced := &core.TuningTable{System: cfg.System, Backend: string(cfg.Backend)}
+				forced.Set(tuneOpKind(op), []core.Threshold{band})
+				hierCfg := cfg
+				hierCfg.Stack = StackHybrid
+				hierCfg.Table = forced
+				res, err := RunCollective(hierCfg, op)
+				if err != nil {
+					return nil, fmt.Errorf("tune %s (hierarchical/%d): %w", op, chunk, err)
+				}
+				variants = append(variants, tuneVariant{band: band, res: res})
 			}
-			if path == lastPath {
+		}
+		var rule []core.Threshold
+		have := false
+		var last core.Threshold
+		for i := range mpiRes {
+			best := mpiRes[i].Latency
+			win := core.Threshold{Path: core.PathMPI}
+			for _, v := range variants {
+				if i < len(v.res) && v.res[i].Latency < best {
+					best = v.res[i].Latency
+					win = v.band
+				}
+			}
+			if have && win.Path == last.Path && win.Algo == last.Algo && win.ChunkBytes == last.ChunkBytes {
 				// Extend the current band.
 				rule[len(rule)-1].MaxBytes = mpiRes[i].Bytes
 				continue
 			}
-			rule = append(rule, core.Threshold{MaxBytes: mpiRes[i].Bytes, Path: path})
-			lastPath = path
+			win.MaxBytes = mpiRes[i].Bytes
+			rule = append(rule, win)
+			last, have = win, true
 		}
 		if len(rule) > 0 {
 			rule[len(rule)-1].MaxBytes = 0 // open-ended final band

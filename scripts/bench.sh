@@ -5,7 +5,7 @@
 # baseline (BENCH_pr3.json) instead of eyeballing `go test -bench` output.
 #
 # Usage: scripts/bench.sh [out.json] [bench-regex] [benchtime]
-#   out.json     output file (default BENCH_pr3.json in the repo root)
+#   out.json     output file (default BENCH_pr5.json in the repo root)
 #   bench-regex  -bench selector (default '.')
 #   benchtime    -benchtime value (default 4x: fixed iteration count keeps
 #                run time bounded and exhibits comparable)
@@ -25,7 +25,7 @@
 set -eu
 
 cd "$(dirname "$0")/.."
-out=${1:-BENCH_pr3.json}
+out=${1:-BENCH_pr5.json}
 bench=${2:-.}
 benchtime=${3:-4x}
 baseline=${XCCL_BENCH_BASELINE:-BENCH_pr3.json}

@@ -22,6 +22,10 @@ go test -race -run 'TestRunAll' mpixccl/internal/experiments
 # with cross-layer shared state; its Train* exhibits are single-kernel and
 # wall-clock heavy, so the race pass is scoped to the elastic tests.
 go test -race -run 'TestTrainElastic' mpixccl/internal/dl
+# The hierarchical collectives recycle opArgs/runCtx through shared pools
+# and spawn pipeline helper procs; the property tests cover every phase
+# interleaving, so they are the ccl surface worth a race pass.
+go test -race -run 'TestHier|TestForcedFlat|TestCollectivePools' mpixccl/internal/ccl
 # Bench smoke: one fixed iteration proves the benchmark harness still
 # runs end to end (full baselines come from scripts/bench.sh).
 go test -run '^$' -bench '^BenchmarkFig1aAllreduceCrossover$' -benchtime 1x .
