@@ -178,6 +178,47 @@ func BenchmarkFig10HorovodMSCCLHier(b *testing.B) {
 		Table: core.HierarchicalTableFor("thetagpu", core.MSCCL, true, 0)})
 }
 
+// Persistent-collective variants of the training exhibits: the fusion
+// buckets run on MPI_Allreduce_init-style handles (plan selection, scratch
+// sizing and breaker consultation paid once at Init), with partitioned
+// readiness overlapping the gradient fill with the intra-node phase. The
+// deltas vs the one-shot exhibits above are the PR's headline: higher img/s
+// and far fewer allocs/op (steady-state Start/Wait allocates nothing).
+
+// BenchmarkFig7HorovodNvidiaPersistent is Fig 7 on persistent handles.
+func BenchmarkFig7HorovodNvidiaPersistent(b *testing.B) {
+	dlBench(b, dl.Config{System: "thetagpu", Nodes: 1, BatchSize: 32, Steps: 1,
+		Engine: dl.EngineXCCL, Persistent: true})
+}
+
+// BenchmarkFig8HorovodAMDPersistent is Fig 8 on persistent handles.
+func BenchmarkFig8HorovodAMDPersistent(b *testing.B) {
+	dlBench(b, dl.Config{System: "mri", Nodes: 4, BatchSize: 64, Steps: 1,
+		Engine: dl.EngineXCCL, Backend: core.RCCL, Persistent: true})
+}
+
+// BenchmarkFig9HorovodHabanaPersistent is Fig 9 on persistent handles.
+func BenchmarkFig9HorovodHabanaPersistent(b *testing.B) {
+	dlBench(b, dl.Config{System: "voyager", Nodes: 1, BatchSize: 128, Steps: 1,
+		Engine: dl.EngineXCCL, Backend: core.HCCL, Persistent: true})
+}
+
+// BenchmarkFig10HorovodMSCCLPersistent is Fig 10 on persistent handles.
+func BenchmarkFig10HorovodMSCCLPersistent(b *testing.B) {
+	dlBench(b, dl.Config{System: "thetagpu", Nodes: 2, BatchSize: 128, Steps: 1,
+		Engine: dl.EngineXCCL, Backend: core.MSCCL, Persistent: true})
+}
+
+// BenchmarkFig10HorovodMSCCLHierPersistent stacks both tentpoles: the
+// hierarchical-collectives table plus persistent partitioned handles, so
+// backprop's partition fills overlap the NVLink intra-node reduction while
+// only node leaders cross the IB fabric.
+func BenchmarkFig10HorovodMSCCLHierPersistent(b *testing.B) {
+	dlBench(b, dl.Config{System: "thetagpu", Nodes: 2, BatchSize: 128, Steps: 1,
+		Engine: dl.EngineXCCL, Backend: core.MSCCL, Persistent: true,
+		Table: core.HierarchicalTableFor("thetagpu", core.MSCCL, true, 0)})
+}
+
 // Ablations (DESIGN.md §5).
 
 // BenchmarkAblationHybridVsPure quantifies the hybrid design's small-message

@@ -45,6 +45,8 @@ func main() {
 		"fail-stop a rank as rank@call (dies after N CCL calls); CCL-backed stacks only")
 	watchdog := flag.Duration("watchdog", 2*time.Millisecond,
 		"collective watchdog deadline used when -crash is set (bounds dead-peer detection)")
+	persistent := flag.Bool("persistent", false,
+		"allreduce on persistent handles (MPI_Allreduce_init-style; hybrid/pure-xccl stacks)")
 	flag.Parse()
 
 	var reg *metrics.Registry
@@ -55,6 +57,7 @@ func main() {
 		System: *system, Nodes: *nodes, Ranks: *ranks,
 		Stack: omb.Stack(*stack), Backend: core.BackendKind(*backend),
 		MinBytes: *min, MaxBytes: *max, Iterations: *iters, Metrics: reg,
+		Persistent: *persistent,
 	}
 	var plan *fault.Plan
 	if *crash != "" {

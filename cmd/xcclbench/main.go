@@ -58,9 +58,12 @@ func main() {
 		"override the elastic exhibit's fail-stop injection as rank@step (e.g. 3@2)")
 	hier := flag.Bool("hier", false,
 		"run the hybrid-xCCL series with topology-aware hierarchical collectives (multi-node exhibits)")
+	persistent := flag.Bool("persistent", false,
+		"run the hybrid-xCCL series of the Horovod exhibits (fig7-fig10) on persistent partitioned allreduce handles")
 	flag.Parse()
 
 	experiments.SetHierarchical(*hier)
+	experiments.SetPersistent(*persistent)
 
 	if *crash != "" {
 		var rank, step int

@@ -256,7 +256,7 @@ func (rc *runCtx) ringAllReduce(dt Datatype, op RedOp, count int) {
 	n := rc.co.n
 	esz := int64(dt.Size())
 	rc.localCopy(a.recv, a.send, int64(count)*esz)
-	bounds := segBounds(count, n)
+	bounds := rc.segs(count, n)
 	maxSeg := int64(bounds[1]-bounds[0]) * esz
 	if maxSeg == 0 {
 		maxSeg = esz
@@ -269,10 +269,10 @@ func (rc *runCtx) ringAllReduce(dt Datatype, op RedOp, count int) {
 		recvSeg := (rc.rank - step - 2 + 2*n) % n
 		so, sl := int64(bounds[sendSeg])*esz, int64(bounds[sendSeg+1]-bounds[sendSeg])*esz
 		ro, rl := int64(bounds[recvSeg])*esz, int64(bounds[recvSeg+1]-bounds[recvSeg])*esz
-		sent := rc.putAsync(right, a.recv.Slice(so, sl), sl, maxSeg)
+		sent := rc.putAsync(right, rc.slice(a.recv, so, sl), sl, maxSeg)
 		slot, buf := rc.get(left, maxSeg)
 		if rl > 0 {
-			rc.reduceInto(op, dt, rc.st.args[rc.rank].recv.Slice(ro, rl), buf.Slice(0, rl), int(rl/esz))
+			rc.reduceInto(op, dt, rc.slice(a.recv, ro, rl), rc.slice(buf, 0, rl), int(rl/esz))
 		}
 		rc.release(left, slot, maxSeg)
 		sent.Wait(rc.p)
@@ -285,7 +285,7 @@ func (rc *runCtx) ringAllReduce(dt Datatype, op RedOp, count int) {
 		recvSeg := (rc.rank - step - 1 + 2*n) % n
 		so, sl := int64(bounds[sendSeg])*esz, int64(bounds[sendSeg+1]-bounds[sendSeg])*esz
 		ro, rl := int64(bounds[recvSeg])*esz, int64(bounds[recvSeg+1]-bounds[recvSeg])*esz
-		sent := rc.putAsync(right, a.recv.Slice(so, sl), sl, maxSeg)
+		sent := rc.putAsync(right, rc.slice(a.recv, so, sl), sl, maxSeg)
 		slot, buf := rc.get(left, maxSeg)
 		if rl > 0 {
 			copy(a.recv.Bytes()[ro:ro+rl], buf.Bytes()[:rl])
@@ -303,7 +303,7 @@ func (rc *runCtx) treeAllReduce(dt Datatype, op RedOp, count int) {
 	esz := int64(dt.Size())
 	rc.localCopy(a.recv, a.send, int64(count)*esz)
 	rc.treeReduceInPlace(dt, op, count, 0)
-	rc.treeBroadcastBuf(dt, count, 0, func(r int) *device.Buffer { return rc.st.args[r].recv })
+	rc.treeBroadcastBuf(dt, count, 0)
 }
 
 // treeReduceInPlace runs a binomial reduction over each rank's recv buffer
@@ -327,7 +327,7 @@ func (rc *runCtx) treeReduceInPlace(dt Datatype, op RedOp, count int, root int) 
 			child := (childRel + root) % n
 			slot, buf := rc.get(child, bytes)
 			if count > 0 {
-				rc.reduceInto(op, dt, rc.st.args[rc.rank].recv.Slice(0, int64(count)*esz), buf.Slice(0, int64(count)*esz), count)
+				rc.reduceInto(op, dt, rc.slice(rc.st.args[rc.rank].recv, 0, int64(count)*esz), rc.slice(buf, 0, int64(count)*esz), count)
 			}
 			rc.release(child, slot, bytes)
 		}
@@ -342,12 +342,12 @@ func (rc *runCtx) treeBroadcast(dt Datatype, count int, root int) {
 	if rc.rank == root {
 		rc.localCopy(a.recv, a.send, int64(count)*esz)
 	}
-	rc.treeBroadcastBuf(dt, count, root, func(r int) *device.Buffer { return rc.st.args[r].recv })
+	rc.treeBroadcastBuf(dt, count, root)
 }
 
-// treeBroadcastBuf runs the binomial broadcast over buf(r) for each rank r,
-// assuming buf(root) already holds the payload.
-func (rc *runCtx) treeBroadcastBuf(dt Datatype, count int, root int, buf func(r int) *device.Buffer) {
+// treeBroadcastBuf runs the binomial broadcast over each rank's recv buffer,
+// assuming root's already holds the payload.
+func (rc *runCtx) treeBroadcastBuf(dt Datatype, count int, root int) {
 	n := rc.co.n
 	esz := int64(dt.Size())
 	bytes := int64(count) * esz
@@ -365,7 +365,7 @@ func (rc *runCtx) treeBroadcastBuf(dt Datatype, count int, root int, buf func(r 
 	for mask > 0 {
 		if rel+mask < n {
 			child := (rel + mask + root) % n
-			rc.putDirect(child, buf(child).Slice(0, bytes), buf(rc.rank).Slice(0, bytes), bytes)
+			rc.putDirect(child, rc.slice(rc.st.args[child].recv, 0, bytes), rc.slice(rc.st.args[rc.rank].recv, 0, bytes), bytes)
 		}
 		mask >>= 1
 	}

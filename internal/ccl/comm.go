@@ -37,6 +37,22 @@ type core struct {
 
 	hierCache *hierPlan // lazily built node hierarchy (see hier.go)
 
+	// persist holds in-flight persistent-op Init rendezvous, keyed by each
+	// rank's persistent-op ordinal (ranks must Init handles in the same
+	// order; see persistent.go).
+	persist map[int]*persistShared
+
+	// Metric instruments resolved once at SetMetrics. The counting paths
+	// below run per launch and per fabric transfer; resolving instruments
+	// there would build a label map per call. All nil (method no-ops)
+	// until a registry is wired.
+	mLaunchColl  *metrics.Counter
+	mLaunchP2P   *metrics.Counter
+	mLaunchGroup *metrics.Counter
+	mGroupCalls  *metrics.Counter
+	mGroupFused  *metrics.Counter
+	mXferBytes   *metrics.Counter
+
 	// Free lists for the per-collective hot-path objects. Every collective
 	// allocates one opArgs per rank and one runCtx per stream task (plus one
 	// per putAsync helper); recycling them through the shared core keeps the
@@ -107,36 +123,53 @@ func (co *core) putName(from, to int) string {
 // transfer volume, labeled by backend. A nil registry disables
 // instrumentation. Call before issuing operations.
 func (c *Comm) SetMetrics(reg *metrics.Registry) {
-	c.core.reg = reg
+	co := c.core
+	co.reg = reg
 	reg.Gauge("ccl_channels",
 		"Fabric channels the backend drives per transfer (its configured budget).",
-		metrics.Labels{"backend": c.core.cfg.Name}).Set(float64(c.core.cfg.Channels))
+		metrics.Labels{"backend": co.cfg.Name}).Set(float64(co.cfg.Channels))
+	lbl := metrics.Labels{"backend": co.cfg.Name}
+	co.mLaunchColl = reg.Counter("ccl_launches_total",
+		"Stream-task launches by kind (collective, p2p, group).",
+		metrics.Labels{"backend": co.cfg.Name, "kind": "collective"})
+	co.mLaunchP2P = reg.Counter("ccl_launches_total",
+		"Stream-task launches by kind (collective, p2p, group).",
+		metrics.Labels{"backend": co.cfg.Name, "kind": "p2p"})
+	co.mLaunchGroup = reg.Counter("ccl_launches_total",
+		"Stream-task launches by kind (collective, p2p, group).",
+		metrics.Labels{"backend": co.cfg.Name, "kind": "group"})
+	co.mGroupCalls = reg.Counter("ccl_group_calls_total",
+		"GroupStart/GroupEnd fused submissions.", lbl)
+	co.mGroupFused = reg.Counter("ccl_group_fused_ops_total",
+		"Send/Recv operations fused into group submissions.", lbl)
+	co.mXferBytes = reg.Counter("ccl_transfer_bytes_total",
+		"Payload bytes moved over the fabric, per backend.", lbl)
 }
 
 // countLaunch records one stream-task launch: kind is "collective", "p2p",
 // or "group" (a fused group pays one launch for all its operations — the
 // advantage the fusion counter quantifies).
 func (co *core) countLaunch(kind string) {
-	co.reg.Counter("ccl_launches_total",
-		"Stream-task launches by kind (collective, p2p, group).",
-		metrics.Labels{"backend": co.cfg.Name, "kind": kind}).Inc()
+	switch kind {
+	case "collective":
+		co.mLaunchColl.Inc()
+	case "p2p":
+		co.mLaunchP2P.Inc()
+	default:
+		co.mLaunchGroup.Inc()
+	}
 }
 
 // countGroup records one GroupEnd: n fused sends+recvs under one launch.
 func (co *core) countGroup(n int) {
-	lbl := metrics.Labels{"backend": co.cfg.Name}
-	co.reg.Counter("ccl_group_calls_total",
-		"GroupStart/GroupEnd fused submissions.", lbl).Inc()
-	co.reg.Counter("ccl_group_fused_ops_total",
-		"Send/Recv operations fused into group submissions.", lbl).Add(float64(n))
+	co.mGroupCalls.Inc()
+	co.mGroupFused.Add(float64(n))
 }
 
 // countXfer records payload bytes moved over the fabric on this
 // communicator's behalf (scratch-pipeline hops included).
 func (co *core) countXfer(bytes int64) {
-	co.reg.Counter("ccl_transfer_bytes_total",
-		"Payload bytes moved over the fabric, per backend.",
-		metrics.Labels{"backend": co.cfg.Name}).Add(float64(bytes))
+	co.mXferBytes.Add(float64(bytes))
 }
 
 // Comm is one rank's handle on a CCL communicator (ncclComm_t analogue).
@@ -146,6 +179,7 @@ type Comm struct {
 	core  *core
 	rank  int
 	seq   int       // this rank's collective sequence number
+	pseq  int       // this rank's persistent-op ordinal (Init rendezvous key)
 	group *groupOps // non-nil between GroupStart and GroupEnd
 	// asyncErr is a failure verdict raised inside this rank's stream task
 	// (the collective watchdog firing on a dead peer), where the issuing
@@ -221,6 +255,7 @@ func NewComms(fab *fabric.Fabric, devs []*device.Device, cfg Config) ([]*Comm, e
 		ops:      make(map[int]*opState),
 		p2pPost:  make(map[[2]int]*sim.Chan[*p2pSlot]),
 		putNames: make(map[[2]int]string),
+		persist:  make(map[int]*persistShared),
 	}
 	for dt, ok := range cfg.Datatypes {
 		if i := int(dt); i >= 0 && i < len(co.dtOK) {
@@ -421,6 +456,12 @@ type runCtx struct {
 	st   *opState
 	rank int
 	p    *sim.Proc
+
+	// Persistent-op hooks, nil on the one-shot path (see persistent.go):
+	// pers carries the handle's caches and partition gate, sender is this
+	// process's resident async-put helper (replacing per-step Spawns).
+	pers   *persistState
+	sender *persistSender
 }
 
 func (rc *runCtx) dev() *device.Device { return rc.co.devs[rc.rank] }
@@ -452,6 +493,9 @@ func (rc *runCtx) xfer(dst, src *device.Buffer, n int64) {
 // concurrently — rings are full duplex, exactly like the hardware channels
 // they run on. Wait on the returned counter before reusing src.
 func (rc *runCtx) putAsync(to int, src *device.Buffer, n int64, slotBytes int64) *sim.Counter {
+	if rc.sender != nil {
+		return rc.sender.post(to, src, n, slotBytes)
+	}
 	k := rc.p.Kernel()
 	done := sim.NewCounter(k, 1)
 	co, st, rank := rc.co, rc.st, rc.rank // rc may be recycled before p runs
@@ -470,7 +514,7 @@ func (rc *runCtx) put(to int, src *device.Buffer, n int64, slotBytes int64) {
 	pp := rc.st.pipe(rc.co, rc.rank, to, slotBytes)
 	rc.p.Sleep(rc.co.cfg.StepCost)
 	slot := pp.credit.Recv(rc.p)
-	rc.xfer(pp.slots[slot].Slice(0, n), src, n)
+	rc.xfer(rc.slice(pp.slots[slot], 0, n), src, n)
 	pp.data.Send(rc.p, slot)
 }
 
@@ -562,10 +606,18 @@ func (c *Comm) delay(p *sim.Proc, op string) {
 // validate checks a collective call against the fault hook and the backend
 // capability matrix. opName is the operation for fault-rule scoping.
 func (c *Comm) validate(opName string, send, recv *device.Buffer, count int, dt Datatype, op *RedOp, root int) error {
-	cfg := &c.core.cfg
 	if err := c.inject(opName); err != nil {
 		return err
 	}
+	return c.validateArgs(opName, send, recv, count, dt, op, root)
+}
+
+// validateArgs is validate without the fault-hook probe: persistent-op
+// Init uses it so that building a handle does not consume a crash rule's
+// call budget — fault rules scoped to an operation count executions
+// (Start), not plan construction.
+func (c *Comm) validateArgs(opName string, send, recv *device.Buffer, count int, dt Datatype, op *RedOp, root int) error {
+	cfg := &c.core.cfg
 	if count < 0 {
 		return &Error{Backend: cfg.Name, Result: ErrInvalidArgument, Op: opName, Rank: c.rank,
 			Msg: "negative count"}

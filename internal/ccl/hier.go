@@ -154,7 +154,12 @@ func (rc *runCtx) hierAllReduce(dt Datatype, op RedOp, count int, chunkBytes int
 	hp := rc.co.hier()
 	a := rc.st.args[rc.rank]
 	esz := int64(dt.Size())
-	rc.localCopy(a.recv, a.send, int64(count)*esz)
+	// A partition-gated persistent schedule stages each chunk as its
+	// partition becomes ready (stageChunk below); everything else stages the
+	// whole payload up front.
+	if rc.gate() == nil {
+		rc.localCopy(a.recv, a.send, int64(count)*esz)
+	}
 
 	locals := hp.locals[hp.nodeIdx[rc.rank]]
 	li := hp.localIdx[rc.rank]
@@ -170,8 +175,10 @@ func (rc *runCtx) hierAllReduce(dt Datatype, op RedOp, count int, chunkBytes int
 		// Non-leader: feed chunks up the intra tree, then receive results.
 		for ck := 0; ck < nchunks; ck++ {
 			lo, cn := chunkRange(count, ce, ck)
+			rc.stageChunk(a, int64(lo)*esz, int64(cn)*esz, ck)
 			rc.intraTreeReduce(locals, li, dt, op, a.recv, int64(lo)*esz, cn, slotBytes)
 		}
+		rc.waitAllParts()
 		for ck := 0; ck < nchunks; ck++ {
 			lo, cn := chunkRange(count, ce, ck)
 			rc.intraTreeBcast(locals, li, 0, int64(lo)*esz, int64(cn)*esz)
@@ -181,34 +188,45 @@ func (rc *runCtx) hierAllReduce(dt Datatype, op RedOp, count int, chunkBytes int
 
 	// Leader: the inter-node engine runs the leader ring per chunk on its
 	// own process, fed through a queue, so chunk k's inter-node exchange
-	// overlaps chunk k+1's intra-node reduction.
+	// overlaps chunk k+1's intra-node reduction. A persistent handle brings
+	// its own resident engine (persistent.go); the one-shot path spawns one
+	// per call.
 	var ready *sim.Chan[int]
 	var done []*sim.Event
 	if m > 1 {
-		k := rc.p.Kernel()
-		ready = sim.NewChan[int](k, nchunks+1)
-		done = make([]*sim.Event, nchunks)
-		for i := range done {
-			done[i] = sim.NewEvent(k)
-		}
-		co, st, rank := rc.co, rc.st, rc.rank
-		k.Spawn(co.cfg.Name+"/hier/engine", func(p *sim.Proc) {
-			sub := co.getCtx(st, rank, p)
-			for i := 0; i < nchunks; i++ {
-				ck := ready.Recv(p)
-				sub.hierInterAllReduce(hp, dt, op, count, ce, ck)
-				done[ck].Fire()
+		if rc.pers != nil && rc.pers.eng != nil {
+			ready, done = rc.pers.eng.ready, rc.pers.eng.done
+			for _, ev := range done {
+				ev.Reset()
 			}
-			co.putCtx(sub)
-		})
+		} else {
+			k := rc.p.Kernel()
+			ready = sim.NewChan[int](k, nchunks+1)
+			done = make([]*sim.Event, nchunks)
+			for i := range done {
+				done[i] = sim.NewEvent(k)
+			}
+			co, st, rank := rc.co, rc.st, rc.rank
+			k.Spawn(co.cfg.Name+"/hier/engine", func(p *sim.Proc) {
+				sub := co.getCtx(st, rank, p)
+				for i := 0; i < nchunks; i++ {
+					ck := ready.Recv(p)
+					sub.hierInterAllReduce(hp, dt, op, count, ce, ck)
+					done[ck].Fire()
+				}
+				co.putCtx(sub)
+			})
+		}
 	}
 	for ck := 0; ck < nchunks; ck++ {
 		lo, cn := chunkRange(count, ce, ck)
+		rc.stageChunk(a, int64(lo)*esz, int64(cn)*esz, ck)
 		rc.intraTreeReduce(locals, li, dt, op, a.recv, int64(lo)*esz, cn, slotBytes)
 		if m > 1 {
 			ready.Send(rc.p, ck)
 		}
 	}
+	rc.waitAllParts()
 	for ck := 0; ck < nchunks; ck++ {
 		if m > 1 {
 			done[ck].Wait(rc.p)
@@ -229,7 +247,7 @@ func (rc *runCtx) hierInterAllReduce(hp *hierPlan, dt Datatype, op RedOp, count,
 	esz := int64(dt.Size())
 	base := int64(lo) * esz
 	recv := rc.st.args[rc.rank].recv
-	bounds := segBounds(cn, m)
+	bounds := rc.segs(cn, m)
 	slotBytes := int64(bounds[1]-bounds[0]) * esz
 	if slotBytes == 0 {
 		slotBytes = esz
@@ -243,11 +261,11 @@ func (rc *runCtx) hierInterAllReduce(hp *hierPlan, dt Datatype, op RedOp, count,
 		ro, rl := seg((idx - step - 2 + 2*m) % m)
 		var sent *sim.Counter
 		if sl > 0 {
-			sent = rc.putAsync(right, recv.Slice(so, sl), sl, slotBytes)
+			sent = rc.putAsync(right, rc.slice(recv, so, sl), sl, slotBytes)
 		}
 		if rl > 0 {
 			slot, buf := rc.get(left, slotBytes)
-			rc.reduceInto(op, dt, recv.Slice(ro, rl), buf.Slice(0, rl), int(rl/esz))
+			rc.reduceInto(op, dt, rc.slice(recv, ro, rl), rc.slice(buf, 0, rl), int(rl/esz))
 			rc.release(left, slot, slotBytes)
 		}
 		if sent != nil {
@@ -260,7 +278,7 @@ func (rc *runCtx) hierInterAllReduce(hp *hierPlan, dt Datatype, op RedOp, count,
 		ro, rl := seg((idx - step - 1 + 2*m) % m)
 		var sent *sim.Counter
 		if sl > 0 {
-			sent = rc.putAsync(right, recv.Slice(so, sl), sl, slotBytes)
+			sent = rc.putAsync(right, rc.slice(recv, so, sl), sl, slotBytes)
 		}
 		if rl > 0 {
 			slot, buf := rc.get(left, slotBytes)
@@ -285,7 +303,7 @@ func (rc *runCtx) intraTreeReduce(group []int, idx int, dt Datatype, op RedOp,
 	}
 	esz := int64(dt.Size())
 	bytes := int64(count) * esz
-	mine := buf.Slice(off, bytes)
+	mine := rc.slice(buf, off, bytes)
 	for mask := 1; mask < n; mask <<= 1 {
 		if idx&mask != 0 {
 			rc.put(group[idx-mask], mine, bytes, slotBytes)
@@ -294,7 +312,7 @@ func (rc *runCtx) intraTreeReduce(group []int, idx int, dt Datatype, op RedOp,
 		if idx+mask < n {
 			child := group[idx+mask]
 			slot, s := rc.get(child, slotBytes)
-			rc.reduceInto(op, dt, mine, s.Slice(0, bytes), count)
+			rc.reduceInto(op, dt, mine, rc.slice(s, 0, bytes), count)
 			rc.release(child, slot, slotBytes)
 		}
 	}
@@ -321,8 +339,8 @@ func (rc *runCtx) intraTreeBcast(group []int, idx, rootIdx int, off, bytes int64
 	for mask > 0 {
 		if rel+mask < n {
 			child := group[(rel+mask+rootIdx)%n]
-			rc.putDirect(child, rc.st.args[child].recv.Slice(off, bytes),
-				rc.st.args[rc.rank].recv.Slice(off, bytes), bytes)
+			rc.putDirect(child, rc.slice(rc.st.args[child].recv, off, bytes),
+				rc.slice(rc.st.args[rc.rank].recv, off, bytes), bytes)
 		}
 		mask >>= 1
 	}

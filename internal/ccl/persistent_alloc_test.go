@@ -1,0 +1,103 @@
+//go:build !race
+
+// The race detector instruments allocations, so the zero-alloc pins in
+// this file only hold in a normal build; check.sh runs them un-raced.
+
+package ccl
+
+import (
+	"runtime"
+	"runtime/debug"
+	"testing"
+
+	"mpixccl/internal/fabric"
+	"mpixccl/internal/sim"
+	"mpixccl/internal/topology"
+)
+
+// The persistent-collective contract this PR exists for: after the
+// warm-up waves have materialized the schedule's sub-buffer views,
+// segment tables, scratch pipes, fabric routes, and waiter-slice
+// capacities, a steady-state Start → [Pready…] → Wait wave performs ZERO
+// heap allocations on any rank — the stream work item, completion
+// events, sender latches, partition gate, and inter-node engine are all
+// recycled. The test measures the global malloc count across whole waves
+// (every rank parked at a barrier between reads), with GC disabled so
+// background collection cannot perturb the counter.
+
+func measurePersistentWaveAllocs(t *testing.T, nodes, nranks, count, parts int, algo Algorithm) {
+	t.Helper()
+	const warmWaves = 3
+	const measured = 8
+	k := sim.NewKernel()
+	sys, err := topology.Preset(k, "thetagpu", nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fab := fabric.New(k, sys)
+	comms, err := NewComms(fab, sys.Devices()[:nranks], testBackend())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bar := sim.NewBarrier(k, nranks)
+	var mallocs [warmWaves + measured]uint64
+	for r := range comms {
+		r := r
+		c := comms[r]
+		k.Spawn("rank", func(p *sim.Proc) {
+			s := c.Device().NewStream()
+			send := c.Device().MustMalloc(int64(count) * 4)
+			recv := c.Device().MustMalloc(int64(count) * 4)
+			c.SetAlgorithm(algo, 0)
+			po, err := c.AllReduceInitPartitioned(send, recv, count, Float32, Sum, parts, s)
+			if err != nil {
+				t.Errorf("init: %v", err)
+				return
+			}
+			bar.Wait(p)
+			for w := 0; w < warmWaves+measured; w++ {
+				if err := po.Do(p); err != nil {
+					t.Errorf("wave %d: %v", w, err)
+					return
+				}
+				bar.Wait(p)
+				if r == 0 {
+					var ms runtime.MemStats
+					runtime.ReadMemStats(&ms)
+					mallocs[w] = ms.Mallocs
+				}
+				bar.Wait(p)
+			}
+		})
+	}
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for w := warmWaves; w < warmWaves+measured; w++ {
+		if d := mallocs[w] - mallocs[w-1]; d != 0 {
+			t.Errorf("steady-state wave %d allocated %d objects across %d ranks; want 0",
+				w, d, nranks)
+		}
+	}
+}
+
+func TestPersistentSteadyStateAllocFreeTree(t *testing.T) {
+	measurePersistentWaveAllocs(t, 1, 4, 1024, 1, AlgoTree)
+}
+
+func TestPersistentSteadyStateAllocFreeRing(t *testing.T) {
+	measurePersistentWaveAllocs(t, 1, 4, 256<<10/4, 1, AlgoFlatRing)
+}
+
+func TestPersistentSteadyStateAllocFreeHier(t *testing.T) {
+	measurePersistentWaveAllocs(t, 2, 16, 256<<10/4, 1, AlgoHierarchical)
+}
+
+func TestPersistentSteadyStateAllocFreePartitionedHier(t *testing.T) {
+	measurePersistentWaveAllocs(t, 2, 16, 256<<10/4, 8, AlgoHierarchical)
+}
+
+func TestPersistentSteadyStateAllocFreePartitionedTree(t *testing.T) {
+	measurePersistentWaveAllocs(t, 1, 4, 1024, 4, AlgoTree)
+}

@@ -1,0 +1,278 @@
+package core
+
+// Persistent collectives at the dispatch layer: the MPI-4
+// MPI_Allreduce_init analogue over the xCCL abstraction. AllReduceInit
+// pays the whole per-call dispatch pipeline exactly once — dead/revoked
+// check, the §3.1–§3.4 decision (device identify, datatype/op mapping,
+// hybrid tuning-table lookup), the circuit-breaker consult, CCL
+// communicator rendezvous, algorithm forcing, and the CCL layer's own
+// plan/scratch/helper setup — and returns a handle whose steady-state
+// Start/Wait run the pre-built schedule with zero heap allocations.
+//
+// Per-wave semantics mirror run() in collectives.go: a fail-stop verdict
+// (ccl.ErrRankDead) is surfaced through Failure() for ULFM-style
+// revoke/shrink and permanently breaks the handle; any other CCL failure
+// feeds the circuit breaker and falls the wave back to the blocking MPI
+// path. The breaker is consulted at Init, not per Start — a per-wave
+// consult would desynchronize the breaker's wave bookkeeping with the
+// one-shot collectives sharing the communicator.
+
+import (
+	"errors"
+	"time"
+
+	"mpixccl/internal/ccl"
+	"mpixccl/internal/mpi"
+
+	"mpixccl/internal/device"
+	"mpixccl/internal/trace"
+)
+
+// PersistentOp is one rank's handle on a persistent allreduce. The state
+// machine is Init → (Start → [Pready…] → Wait)* → Free:
+//
+//	Start   launches the pre-built schedule without blocking
+//	Pready  marks one send-payload partition ready (partitioned handles)
+//	Wait    blocks until the wave completes, handling fallback/failure
+//	Do      = Start + PreadyAll + Wait, bytewise ≡ one-shot Allreduce
+//
+// A handle is bound to the communicator it was built on: after a Shrink
+// the application must Free it and Init a fresh handle on the survivor
+// communicator (see dl.TrainElastic).
+type PersistentOp struct {
+	x          *Comm
+	send, recv *device.Buffer
+	count      int
+	dt         mpi.Datatype
+	op         mpi.Op
+	bytes      int64
+	parts      int
+
+	pc *ccl.PersistentColl // nil when the plan decided the MPI path
+	cc *ccl.Comm           // the communicator pc was built on
+
+	start    time.Duration // virtual start of the wave in flight
+	inflight bool
+	demoted  bool // this wave fell back to MPI at Start
+	freed    bool
+}
+
+// AllReduceInit builds a persistent allreduce handle: the dispatch
+// decision, breaker consult, CCL communicator rendezvous, and schedule
+// construction run here, exactly once. Every rank of the communicator
+// must call it with consistent arguments and in the same handle order
+// (like collectives themselves). Handles whose decision chose the MPI
+// path (pure-MPI mode, unsupported datatype/op, host buffers, tuning
+// table, open breaker) are still valid: their waves run the blocking MPI
+// algorithm in Wait.
+func (x *Comm) AllReduceInit(send, recv *device.Buffer, count int, dt mpi.Datatype, op mpi.Op) (*PersistentOp, error) {
+	return x.AllReduceInitPartitioned(send, recv, count, dt, op, 1)
+}
+
+// AllReduceInitPartitioned is AllReduceInit with the send payload split
+// into parts contiguous element ranges whose readiness the application
+// signals per wave with Pready (MPI_Pready), overlapping payload
+// production with the collective. parts is clamped to count; parts = 1
+// behaves like AllReduceInit. MPI-path handles ignore partitioning (the
+// blocking MPI algorithm needs the whole payload).
+func (x *Comm) AllReduceInitPartitioned(send, recv *device.Buffer, count int, dt mpi.Datatype, op mpi.Op, parts int) (*PersistentOp, error) {
+	if x.dead || x.rt.revoked[x.mpi.ContextID()] {
+		if x.failure == nil {
+			x.failure = ErrCommRevoked
+		}
+		return nil, x.failure
+	}
+	bytes := int64(count) * int64(dt.Size())
+	po := &PersistentOp{
+		x: x, send: send, recv: recv,
+		count: count, dt: dt, op: op, bytes: bytes, parts: parts,
+	}
+	d := x.decide(OpAllreduce, bytes, dt, &op, send, recv)
+	if d.useCCL && !x.rt.allowCCL(x, OpAllreduce) {
+		// Open breaker at plan time: the handle is demoted to the MPI path
+		// for its whole lifetime, exactly as one one-shot call would be for
+		// one wave. Rebuild the handle after the breaker closes to return
+		// to the CCL.
+		d.useCCL = false
+		x.rt.stats.BreakerSkips++
+		x.rt.stats.Fallbacks.Error++
+		x.rt.countFallback(OpAllreduce, "breaker_open")
+	}
+	if !d.useCCL {
+		return po, nil
+	}
+	cc, err := x.cclComm()
+	if err != nil {
+		// Communicator creation failures behave like any CCL error:
+		// breaker feedback, fallback counters, MPI-path handle.
+		x.rt.breakerFailure(x, OpAllreduce)
+		x.rt.stats.Fallbacks.Error++
+		x.rt.countFallback(OpAllreduce, "ccl_error")
+		return po, nil
+	}
+	cc.SetAlgorithm(d.algo, d.chunk)
+	s := x.rt.stream(x.mpi.WorldRank(), x.Device())
+	pc, err := cc.AllReduceInitPartitioned(send, recv, count, d.dt, d.op, parts, s)
+	if err != nil {
+		// Init-time CCL errors are argument/plan errors, not runtime
+		// failures: surface them instead of silently demoting.
+		return nil, err
+	}
+	po.pc = pc
+	po.cc = cc
+	return po, nil
+}
+
+// Start launches one execution of the pre-built schedule without
+// blocking. Fault hooks are probed here, per wave, exactly as per
+// one-shot call: a fail-stopped rank's Start fails fast and records the
+// verdict on the handle's communicator. Any other injected failure
+// demotes just this wave to the MPI path (executed in Wait) with breaker
+// feedback. Start on a revoked communicator no-ops with ErrCommRevoked.
+func (po *PersistentOp) Start() error {
+	x := po.x
+	if x.dead || x.rt.revoked[x.mpi.ContextID()] {
+		if x.failure == nil {
+			x.failure = ErrCommRevoked
+		}
+		return x.failure
+	}
+	po.start = x.mpi.Proc().Now()
+	po.inflight = true
+	po.demoted = false
+	if po.pc == nil {
+		return nil
+	}
+	// Per-wave environment sync, as runCCL does per one-shot call: the
+	// watchdog deadline may have been re-armed and a fabric degradation
+	// window may have opened or closed since the last wave.
+	if wd := x.rt.watchdogTimeout(); wd != po.cc.Watchdog() {
+		po.cc.SetWatchdog(wd)
+	}
+	if !x.rt.policy.Disabled {
+		if lf, ok := x.mpi.Job().Fabric().DegradedNow(x.mpi.Proc().Now()); ok {
+			budget := lf.ChannelCap
+			if budget <= 0 {
+				budget = (po.cc.Config().Channels + 1) / 2
+			}
+			po.cc.SetChannelCap(budget)
+		} else if po.cc.ChannelCap() != 0 {
+			po.cc.SetChannelCap(0)
+		}
+	}
+	if err := po.pc.Start(); err != nil {
+		if errors.Is(err, ccl.ErrRankDead) {
+			x.noteRankFailure(OpAllreduce, err)
+			po.inflight = false
+			return err
+		}
+		x.rt.breakerFailure(x, OpAllreduce)
+		x.rt.stats.Fallbacks.Error++
+		x.rt.countFallback(OpAllreduce, "ccl_error")
+		po.demoted = true
+	}
+	return nil
+}
+
+// Pready marks partition k of the send buffer ready for the wave in
+// flight (MPI_Pready). Valid between Start and Wait, once per partition
+// per wave. Non-partitioned and MPI-path handles ignore it.
+func (po *PersistentOp) Pready(k int) {
+	if po.pc == nil || po.demoted {
+		return
+	}
+	po.pc.Pready(k)
+}
+
+// PreadyAll marks every partition of the wave in flight ready.
+func (po *PersistentOp) PreadyAll() {
+	if po.pc == nil || po.demoted {
+		return
+	}
+	po.pc.PreadyAll()
+}
+
+// Wait blocks until the launched wave completes, with run()'s full error
+// handling: a fail-stop verdict surfaces through Failure() and returns
+// without a trace record (the rank abandoned the operation); any other
+// CCL failure feeds the breaker and re-executes the wave on the blocking
+// MPI path; success credits the breaker. Every completed wave emits the
+// same trace record and metric aggregates as a one-shot call.
+func (po *PersistentOp) Wait() error {
+	x := po.x
+	if !po.inflight {
+		return x.failure
+	}
+	po.inflight = false
+	path := PathMPI
+	if po.pc != nil && !po.demoted {
+		err := po.pc.Wait(x.mpi.Proc())
+		if err != nil {
+			if errors.Is(err, ccl.ErrRankDead) {
+				// Fail-stop: retrying cannot succeed and the MPI fallback
+				// would block forever on the dead peer. The handle is
+				// permanently broken; rebuild it after Shrink.
+				x.noteRankFailure(OpAllreduce, err)
+				return err
+			}
+			x.rt.breakerFailure(x, OpAllreduce)
+			x.rt.stats.Fallbacks.Error++
+			x.rt.stats.MPIOps++
+			x.rt.countFallback(OpAllreduce, "ccl_error")
+			x.mpi.Allreduce(po.send, po.recv, po.count, po.dt, po.op)
+		} else {
+			x.rt.breakerSuccess(x, OpAllreduce)
+			path = PathCCL
+			x.rt.stats.CCLOps++
+		}
+	} else {
+		x.rt.stats.MPIOps++
+		x.mpi.Allreduce(po.send, po.recv, po.count, po.dt, po.op)
+	}
+	rec := trace.Record{
+		Op: string(OpAllreduce), Path: path.String(), Backend: string(x.rt.kind),
+		Rank: x.Rank(), Bytes: po.bytes,
+		Start: po.start, Duration: x.mpi.Proc().Now() - po.start,
+	}
+	x.rt.opts.Trace.Add(rec)
+	trace.RecordMetrics(x.rt.opts.Metrics, rec)
+	return nil
+}
+
+// Do runs one complete wave: Start, every partition ready, Wait. With
+// pre-filled buffers it is bytewise equivalent to one-shot Allreduce.
+func (po *PersistentOp) Do() error {
+	if err := po.Start(); err != nil {
+		return err
+	}
+	po.PreadyAll()
+	return po.Wait()
+}
+
+// Parts reports the partition count (1 for a plain persistent op).
+func (po *PersistentOp) Parts() int { return po.parts }
+
+// UsesCCL reports whether the handle's plan chose the CCL path.
+func (po *PersistentOp) UsesCCL() bool { return po.pc != nil }
+
+// PlannedAlgorithm reports the CCL schedule family Init selected, or ""
+// for MPI-path handles.
+func (po *PersistentOp) PlannedAlgorithm() string {
+	if po.pc == nil {
+		return ""
+	}
+	return po.pc.PlannedAlgorithm().String()
+}
+
+// Free releases the handle's CCL-layer scratch once every rank handle
+// has called it, after the final Wait. A freed handle must not be
+// Started again.
+func (po *PersistentOp) Free() {
+	if po.freed {
+		return
+	}
+	po.freed = true
+	if po.pc != nil {
+		po.pc.Free()
+	}
+}

@@ -60,6 +60,39 @@ func (s *Stream) Enqueue(name string, fn func(p *sim.Proc)) *sim.Event {
 	return t.done
 }
 
+// PersistentTask is a reusable stream work item: the task struct and its
+// completion event are built once, and each Launch re-enqueues the same
+// task after resetting the event. Persistent collectives use this to keep
+// the per-step launch path free of heap allocations.
+type PersistentTask struct {
+	s *Stream
+	t *streamTask
+}
+
+// NewPersistentTask builds a reusable work item for this stream. fn runs on
+// the stream's process each time Launch is called.
+func (s *Stream) NewPersistentTask(name string, fn func(p *sim.Proc)) *PersistentTask {
+	return &PersistentTask{
+		s: s,
+		t: &streamTask{name: name, fn: fn, done: sim.NewEvent(s.dev.k)},
+	}
+}
+
+// Launch enqueues the task and returns its completion event. The previous
+// launch must have completed (the done event fired) before relaunching; a
+// persistent handle's Wait enforces that ordering naturally.
+func (pt *PersistentTask) Launch() *sim.Event {
+	pt.t.done.Reset()
+	if !pt.s.tasks.TrySend(pt.t) {
+		panic(fmt.Sprintf("device: stream %s/%d queue overflow", pt.s.dev, pt.s.id))
+	}
+	pt.s.last = pt.t.done
+	return pt.t.done
+}
+
+// Done returns the task's completion event for the most recent launch.
+func (pt *PersistentTask) Done() *sim.Event { return pt.t.done }
+
 // EnqueueBusy schedules a fixed-duration work item (e.g. a compute kernel):
 // launch overhead plus busy time on the stream.
 func (s *Stream) EnqueueBusy(name string, busy sim.Time) *sim.Event {

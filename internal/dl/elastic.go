@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"mpixccl/internal/core"
+	"mpixccl/internal/device"
 	"mpixccl/internal/fabric"
 	"mpixccl/internal/metrics"
 	"mpixccl/internal/mpi"
@@ -114,18 +115,58 @@ func TrainElastic(cfg Config) (ElasticReport, error) {
 		grad := x.Device().MustMalloc(maxBucket)
 		defer grad.Free()
 		p := x.MPI().Proc()
+		// Persistent mode: one handle per fusion bucket, rebuilt on the
+		// survivor communicator after every Shrink (handles are bound to
+		// the communicator their Init rendezvoused on; a shrink breaks
+		// them permanently). Buckets get distinct arena offsets because
+		// re-Init must see stable, non-aliased buffers.
+		var handles []*core.PersistentOp
+		var arena *device.Buffer
+		buildHandles := func() {
+			var total int64
+			for _, b := range buckets {
+				total += b.Bytes
+			}
+			if arena == nil {
+				arena = x.Device().MustMalloc(total)
+			}
+			handles = handles[:0]
+			var off int64
+			for _, b := range buckets {
+				p.Sleep(cfg.CoordOverhead)
+				buf := arena.Slice(off, b.Bytes)
+				off += b.Bytes
+				h, err := x.AllReduceInitPartitioned(buf, buf, int(b.Bytes/4),
+					mpi.Float32, mpi.OpSum, cfg.Partitions)
+				if err != nil {
+					panic(fmt.Sprintf("dl: persistent init: %v", err))
+				}
+				handles = append(handles, h)
+			}
+		}
+		if cfg.Persistent {
+			buildHandles()
+		}
 		step := 0
 		var examples, examplesAtCkpt int64
 		lastCkpt := 0
 		for step < cfg.Steps {
 			start := p.Now()
 			p.Sleep(computeTime)
-			for _, b := range buckets {
-				p.Sleep(cfg.CoordOverhead)
-				bucket := grad.Slice(0, b.Bytes)
-				x.Allreduce(bucket, bucket, int(b.Bytes/4), mpi.Float32, mpi.OpSum)
-				if x.Failure() != nil {
-					break
+			if cfg.Persistent {
+				for _, h := range handles {
+					if h.Do() != nil || x.Failure() != nil {
+						break
+					}
+				}
+			} else {
+				for _, b := range buckets {
+					p.Sleep(cfg.CoordOverhead)
+					bucket := grad.Slice(0, b.Bytes)
+					x.Allreduce(bucket, bucket, int(b.Bytes/4), mpi.Float32, mpi.OpSum)
+					if x.Failure() != nil {
+						break
+					}
 				}
 			}
 			if x.Failure() != nil {
@@ -141,6 +182,12 @@ func TrainElastic(cfg Config) (ElasticReport, error) {
 				}
 				x = nx
 				p = x.MPI().Proc()
+				if cfg.Persistent {
+					// The old handles died with the revoked communicator;
+					// re-Init on the survivors (same bucket plan, same
+					// arena, fresh CCL communicator and schedules).
+					buildHandles()
+				}
 				if x.Rank() == 0 {
 					rep.RollbackSteps += step - lastCkpt
 					rollbackCtr.Add(float64(step - lastCkpt))

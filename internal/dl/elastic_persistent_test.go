@@ -1,0 +1,114 @@
+package dl
+
+import (
+	"testing"
+
+	"mpixccl/internal/fault"
+	"mpixccl/internal/metrics"
+)
+
+// Persistent handles under fail-stop recovery: a crash breaks the
+// handles with the communicator they were built on, the survivors
+// shrink, re-Init fresh handles on the survivor communicator, and the
+// run completes — proving the Init → Shrink → re-Init lifecycle works
+// end to end.
+
+// TestTrainElasticPersistentCrashRecovers is the persistent twin of
+// TestTrainElasticCrashRecovers: same fault plan, same recovery outcome.
+func TestTrainElasticPersistentCrashRecovers(t *testing.T) {
+	reg := metrics.NewRegistry()
+	cfg := elasticConfig(reg)
+	cfg.Persistent = true
+	nb := tinyBuckets()
+	cfg.Faults = fault.NewPlan(7).AddRule(fault.Rule{
+		Name: "crash", Crash: true, Ranks: []int{5}, Op: "allreduce",
+		After: 2*nb + nb/2,
+	})
+	rep, err := TrainElastic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.StartRanks != 8 || rep.FinalRanks != 7 {
+		t.Errorf("ranks %d -> %d, want 8 -> 7", rep.StartRanks, rep.FinalRanks)
+	}
+	if len(rep.CrashedRanks) != 1 || rep.CrashedRanks[0] != 5 {
+		t.Errorf("CrashedRanks = %v, want [5]", rep.CrashedRanks)
+	}
+	if rep.Shrinks != 1 {
+		t.Errorf("Shrinks = %d, want 1", rep.Shrinks)
+	}
+	// All 6 steps complete exactly once (the crash interrupted the first
+	// step after a checkpoint), on re-Initialized handles after the shrink.
+	if len(rep.Loss) != 6 {
+		t.Fatalf("len(Loss) = %d, want 6", len(rep.Loss))
+	}
+	if rep.RollbackSteps != 0 {
+		t.Errorf("RollbackSteps = %d, want 0", rep.RollbackSteps)
+	}
+	if v, ok := reg.CounterValue("xccl_rank_failures_total", metrics.Labels{"backend": "nccl"}); !ok || v != 1 {
+		t.Errorf("xccl_rank_failures_total = %v (exists %v), want 1", v, ok)
+	}
+}
+
+// TestTrainElasticPersistentHealthyMatchesOneShot pins that persistence
+// changes only the cost model, not the training semantics: a healthy
+// persistent run reports the identical loss curve and recovery-free shape
+// as the one-shot run.
+func TestTrainElasticPersistentHealthyMatchesOneShot(t *testing.T) {
+	base, err := TrainElastic(elasticConfig(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := elasticConfig(nil)
+	cfg.Persistent = true
+	pers, err := TrainElastic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pers.Shrinks != 0 || pers.RollbackSteps != 0 || len(pers.CrashedRanks) != 0 {
+		t.Errorf("healthy persistent run reported Shrinks=%d RollbackSteps=%d CrashedRanks=%v",
+			pers.Shrinks, pers.RollbackSteps, pers.CrashedRanks)
+	}
+	if pers.FinalRanks != base.FinalRanks || len(pers.Loss) != len(base.Loss) {
+		t.Fatalf("shape diverged: FinalRanks %d vs %d, len(Loss) %d vs %d",
+			pers.FinalRanks, base.FinalRanks, len(pers.Loss), len(base.Loss))
+	}
+	for i := range base.Loss {
+		if pers.Loss[i] != base.Loss[i] {
+			t.Errorf("loss diverged at step %d: persistent %v vs one-shot %v",
+				i, pers.Loss[i], base.Loss[i])
+		}
+	}
+	// The persistent run pays negotiation at Init instead of per step, so
+	// its steady-state steps must not be slower.
+	if pers.StepTime > base.StepTime {
+		t.Errorf("persistent StepTime %v slower than one-shot %v", pers.StepTime, base.StepTime)
+	}
+}
+
+// TestTrainElasticPersistentRollback replays a lost step on rebuilt
+// handles: crash after an uncheckpointed step forces rollback, and the
+// replay runs on the re-Initialized handles of the shrunken world.
+func TestTrainElasticPersistentRollback(t *testing.T) {
+	reg := metrics.NewRegistry()
+	cfg := elasticConfig(reg)
+	cfg.Persistent = true
+	nb := tinyBuckets()
+	cfg.Faults = fault.NewPlan(7).AddRule(fault.Rule{
+		Name: "crash", Crash: true, Ranks: []int{3}, Op: "allreduce",
+		After: 3*nb + nb/2,
+	})
+	rep, err := TrainElastic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RollbackSteps != 1 {
+		t.Errorf("RollbackSteps = %d, want 1", rep.RollbackSteps)
+	}
+	if len(rep.Loss) != 7 {
+		t.Fatalf("len(Loss) = %d, want 7 (6 steps + 1 replay)", len(rep.Loss))
+	}
+	if rep.FinalRanks != 7 || rep.Shrinks != 1 {
+		t.Errorf("FinalRanks=%d Shrinks=%d, want 7/1", rep.FinalRanks, rep.Shrinks)
+	}
+}

@@ -100,6 +100,20 @@ type Config struct {
 	// steps (0 = every 2 steps). A crash rolls the survivors back to the
 	// last checkpoint.
 	CheckpointEvery int
+	// Persistent moves the gradient exchange onto persistent allreduce
+	// handles (EngineXCCL only): one handle per fusion bucket, built
+	// before the first step, so Horovod's per-op negotiation
+	// (CoordOverhead) and the dispatch/plan/scratch work are paid once
+	// per run instead of once per step, and the steady-state loop
+	// allocates nothing. Partitioned readiness overlaps backprop's
+	// fusion-buffer fill with the collective (see Partitions). Other
+	// engines ignore the flag.
+	Persistent bool
+	// Partitions is the per-bucket partition count for the persistent
+	// path (0 = 4): backprop marks each gradient partition ready as it is
+	// produced, letting the intra-node phase and the inter-node leader
+	// ring consume partitions while later ones are still being computed.
+	Partitions int
 }
 
 func (c *Config) fillDefaults() {
@@ -137,6 +151,9 @@ func (c *Config) fillDefaults() {
 	}
 	if c.CoordOverhead == 0 {
 		c.CoordOverhead = 240 * time.Microsecond
+	}
+	if c.Partitions == 0 {
+		c.Partitions = 4
 	}
 }
 
@@ -202,7 +219,19 @@ func Train(cfg Config) (Report, error) {
 	computeTime := time.Duration(float64(cfg.BatchSize) / rate * float64(time.Second))
 
 	var stepTimes []time.Duration
+	persistent := cfg.Persistent && cfg.Engine == EngineXCCL
 	body := func(ge gradEngine) {
+		if persistent {
+			xe := ge.(*xcclEngine)
+			// Only rank 0 measures; adopt its non-empty result rather than
+			// assigning unconditionally, or the last rank to finish would
+			// overwrite the shared slice with its own empty one.
+			if st := trainPersistent(&cfg, xe, buckets, computeTime,
+				allreduceHist, stepHist); len(st) > 0 {
+				stepTimes = st
+			}
+			return
+		}
 		// Horovod allreduces gradients in place (send == recv).
 		grad := ge.dev().MustMalloc(maxBucket)
 		p := ge.proc()
@@ -245,6 +274,89 @@ func Train(cfg Config) (Report, error) {
 		ImgPerSec: imgs, StepTime: avg,
 		Ranks: nranks, BatchSize: cfg.BatchSize, Buckets: len(buckets),
 	}, nil
+}
+
+// trainPersistent is the EngineXCCL hot loop on persistent handles: one
+// partitioned allreduce handle per fusion bucket, built (with Horovod's
+// per-op negotiation) before the first step. Gradient production is
+// modeled as spread uniformly across the step's compute time; each
+// partition is marked ready (MPI_Pready) the moment backprop would have
+// filled it, so the collective consumes partitions while later ones are
+// still being computed, and the handles are drained in production order
+// at the end of the step. The buckets live at distinct offsets of one
+// fusion arena because every bucket's exchange is in flight at once.
+// Returns this rank's measured step times (empty except on rank 0).
+func trainPersistent(cfg *Config, xe *xcclEngine, buckets []Bucket,
+	computeTime time.Duration, allreduceHist, stepHist *metrics.Histogram,
+) []time.Duration {
+	var stepTimes []time.Duration
+	x := xe.x
+	p := x.MPI().Proc()
+	var total int64
+	offs := make([]int64, len(buckets))
+	for i, b := range buckets {
+		offs[i] = total
+		total += b.Bytes
+	}
+	arena := x.Device().MustMalloc(total)
+	handles := make([]*core.PersistentOp, len(buckets))
+	slices := 0
+	for i, b := range buckets {
+		// The negotiation Horovod pays per op per step becomes a one-time
+		// Init cost.
+		p.Sleep(cfg.CoordOverhead)
+		buf := arena.Slice(offs[i], b.Bytes)
+		h, err := x.AllReduceInitPartitioned(buf, buf, int(b.Bytes/4),
+			mpi.Float32, mpi.OpSum, cfg.Partitions)
+		if err != nil {
+			panic(fmt.Sprintf("dl: persistent init: %v", err))
+		}
+		handles[i] = h
+		slices += h.Parts()
+	}
+	defer func() {
+		for _, h := range handles {
+			h.Free()
+		}
+	}()
+	for step := 0; step < cfg.Steps+1; step++ {
+		start := p.Now()
+		measured := step > 0 && x.Device().ID == 0
+		for _, h := range handles {
+			if err := h.Start(); err != nil {
+				panic(fmt.Sprintf("dl: persistent start: %v", err))
+			}
+		}
+		// Forward + backward compute, with per-partition readiness
+		// signaled as the gradients are produced (cumulative division, so
+		// the slices sum to computeTime exactly).
+		var done time.Duration
+		idx := 0
+		for _, h := range handles {
+			for k := 0; k < h.Parts(); k++ {
+				idx++
+				target := computeTime * time.Duration(idx) / time.Duration(slices)
+				p.Sleep(target - done)
+				done = target
+				h.Pready(k)
+			}
+		}
+		for i, h := range handles {
+			arStart := p.Now()
+			if err := h.Wait(); err != nil {
+				panic(fmt.Sprintf("dl: persistent wait (bucket %d): %v", i, err))
+			}
+			if measured {
+				metrics.StartTimer(allreduceHist, arStart).Stop(p.Now())
+			}
+		}
+		xe.barrier()
+		if measured {
+			stepTimes = append(stepTimes, p.Now()-start)
+			metrics.StartTimer(stepHist, start).Stop(p.Now())
+		}
+	}
+	return stepTimes
 }
 
 // launch builds the engine-specific world and runs body on every rank.

@@ -73,6 +73,17 @@ func hierTable(system string, backend core.BackendKind, nodes int) *core.TuningT
 	return core.HierarchicalTableFor(system, backend, true, 0)
 }
 
+// persistEnabled switches the Horovod exhibits' xCCL engine onto
+// persistent partitioned allreduce handles (off by default so regenerated
+// exhibits match the paper's per-call dispatch byte for byte).
+var persistEnabled bool
+
+// SetPersistent toggles persistent collectives for the hybrid-xCCL series
+// of the training figures (Fig 7–10): gradient buckets ride pre-built
+// partitioned handles with per-op negotiation amortized into Init. Call
+// it before Run/RunAll (the xcclbench -persistent flag).
+func SetPersistent(on bool) { persistEnabled = on }
+
 // sweep returns the OMB size list for the scale.
 func sweep(scale Scale) (min, max int64) {
 	if scale == Full {
@@ -331,7 +342,8 @@ func dlFigure(id, title, system string, nodes int, backend core.BackendKind, eng
 		}
 		for _, bs := range []int{32, 64, 128} {
 			rep, err := dl.Train(dl.Config{System: system, Nodes: nodes, BatchSize: bs,
-				Steps: 1, Engine: eng, Backend: backend, Table: table, Metrics: reg})
+				Steps: 1, Engine: eng, Backend: backend, Table: table, Metrics: reg,
+				Persistent: persistEnabled && eng == dl.EngineXCCL})
 			if err != nil {
 				return nil, err
 			}

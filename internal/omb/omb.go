@@ -91,6 +91,12 @@ type Config struct {
 	// Resilience overrides the xCCL runtime's retry/breaker policy
 	// (hybrid and pure-xccl stacks); nil uses the defaults.
 	Resilience *core.Resilience
+	// Persistent runs the allreduce sweep on persistent handles (hybrid
+	// and pure-xccl stacks): one handle per message size, built on the
+	// first call for that size, with every timed iteration a
+	// Start/Wait wave — the MPI-4 MPI_Allreduce_init measurement mode.
+	// Other operations and stacks ignore the flag.
+	Persistent bool
 }
 
 func (c *Config) fillDefaults() {
@@ -253,8 +259,31 @@ func launchCollective(cfg *Config, w *world, nranks int, body func(d *collDriver
 			return err
 		}
 		return rt.Run(func(x *core.Comm) {
+			// Persistent mode: the allreduce sweep reuses one handle per
+			// message size, rebuilt when the size changes (every rank hits
+			// the same sequence points, so the Init rendezvous lines up).
+			var po *core.PersistentOp
+			poCount := -1
 			body(&collDriver{
 				do: func(op Collective, send, recv *device.Buffer, count int) {
+					if cfg.Persistent && op == Allreduce {
+						if count != poCount {
+							if po != nil {
+								po.Free()
+							}
+							var err error
+							po, err = x.AllReduceInit(send.Slice(0, int64(count)*4),
+								recv.Slice(0, int64(count)*4), count, mpi.Float32, mpi.OpSum)
+							if err != nil {
+								panic(fmt.Sprintf("omb: persistent init: %v", err))
+							}
+							poCount = count
+						}
+						if err := po.Do(); err != nil {
+							panic(fmt.Sprintf("omb: persistent allreduce: %v", err))
+						}
+						return
+					}
 					xcclOp(x, op, send, recv, count)
 				},
 				barrier: func() { x.MPI().Barrier() },

@@ -23,10 +23,11 @@ func (e *Event) Fire() {
 		return
 	}
 	e.fired = true
-	for _, w := range e.waiters {
+	for i, w := range e.waiters {
 		w.unpark()
+		e.waiters[i] = nil // drop the reference, keep the capacity for Reset reuse
 	}
-	e.waiters = nil
+	e.waiters = e.waiters[:0]
 }
 
 // Wait blocks p until the event fires.
@@ -36,6 +37,17 @@ func (e *Event) Wait(p *Proc) {
 	}
 	e.waiters = append(e.waiters, p)
 	p.park("event")
+}
+
+// Reset returns a fired event to the unfired state so persistent handles
+// can reuse one event across waves instead of allocating a fresh one per
+// operation. Resetting an event that still has blocked waiters would strand
+// them silently, so that is a model bug and panics.
+func (e *Event) Reset() {
+	if len(e.waiters) > 0 {
+		panic("sim: Event.Reset with blocked waiters")
+	}
+	e.fired = false
 }
 
 // Counter is a countdown latch: it fires an event when Add has been balanced
@@ -70,6 +82,21 @@ func (c *Counter) Done() {
 
 // Wait blocks p until the count reaches zero.
 func (c *Counter) Wait(p *Proc) { c.event.Wait(p) }
+
+// Reset re-arms a drained latch for n more completions, reusing its event.
+// Persistent schedules recycle one counter per resident helper instead of
+// allocating a fresh latch per step. Resetting with completions still
+// outstanding is a model bug and panics.
+func (c *Counter) Reset(n int) {
+	if c.n > 0 {
+		panic("sim: Counter.Reset with completions outstanding")
+	}
+	c.event.Reset()
+	c.n = n
+	if n <= 0 {
+		c.event.Fire()
+	}
+}
 
 // Barrier synchronizes a fixed party count: each arrival blocks until all
 // parties have arrived, then every party resumes and the barrier resets for

@@ -2,10 +2,10 @@
 # Bench baseline: run the root benchmark suite (one benchmark per paper
 # exhibit plus the ablations) with -benchmem and persist the numbers as
 # JSON, so perf PRs can diff wall time and allocations against a committed
-# baseline (BENCH_pr3.json) instead of eyeballing `go test -bench` output.
+# baseline (BENCH_pr5.json) instead of eyeballing `go test -bench` output.
 #
 # Usage: scripts/bench.sh [out.json] [bench-regex] [benchtime]
-#   out.json     output file (default BENCH_pr5.json in the repo root)
+#   out.json     output file (default BENCH_pr6.json in the repo root)
 #   bench-regex  -bench selector (default '.')
 #   benchtime    -benchtime value (default 4x: fixed iteration count keeps
 #                run time bounded and exhibits comparable)
@@ -25,10 +25,10 @@
 set -eu
 
 cd "$(dirname "$0")/.."
-out=${1:-BENCH_pr5.json}
+out=${1:-BENCH_pr6.json}
 bench=${2:-.}
 benchtime=${3:-4x}
-baseline=${XCCL_BENCH_BASELINE:-BENCH_pr3.json}
+baseline=${XCCL_BENCH_BASELINE:-BENCH_pr5.json}
 tolerance=${XCCL_BENCH_TOLERANCE:-2}
 
 # ns_op of one benchmark entry in a baseline JSON ('' if absent).

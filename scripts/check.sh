@@ -12,16 +12,23 @@ fi
 go vet ./...
 go build ./...
 go test ./...
+# Docs are a public surface too: every relative link and repo path they
+# mention must resolve.
+scripts/doclinks.sh
 # The packages whose state is shared across sim procs (or any caller):
 # re-run under the race detector. internal/experiments exercises the
 # parallel runner, whose worlds must not share mutable state; internal/core
-# includes the concurrent-runtime breaker and fail-stop recovery tests.
+# includes the concurrent-runtime breaker and fail-stop recovery tests plus
+# the persistent-handle property tests (the zero-alloc measurements carry a
+# !race build tag and step aside here — ReadMemStats deltas are meaningless
+# under the detector's instrumented allocator).
 go test -race mpixccl/internal/metrics mpixccl/internal/sim mpixccl/internal/fault mpixccl/internal/core
 go test -race -run 'TestRunAll' mpixccl/internal/experiments
-# dl's recovery path (watchdog + shrink + rollback) is the only dl surface
-# with cross-layer shared state; its Train* exhibits are single-kernel and
-# wall-clock heavy, so the race pass is scoped to the elastic tests.
-go test -race -run 'TestTrainElastic' mpixccl/internal/dl
+# dl's recovery path (watchdog + shrink + rollback) and the persistent hot
+# loop are the dl surfaces with cross-layer shared state; the remaining
+# Train* exhibits are single-kernel and wall-clock heavy, so the race pass
+# is scoped to the elastic + persistent tests.
+go test -race -run 'TestTrainElastic|TestTrainPersistent' mpixccl/internal/dl
 # The hierarchical collectives recycle opArgs/runCtx through shared pools
 # and spawn pipeline helper procs; the property tests cover every phase
 # interleaving, so they are the ccl surface worth a race pass.

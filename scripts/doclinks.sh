@@ -1,0 +1,57 @@
+#!/bin/sh
+# Doc link checker: every relative markdown link in docs/*.md, README.md and
+# EXPERIMENTS.md must resolve to a file in the repo, and every backticked
+# repo path (internal/..., cmd/..., scripts/..., docs/...) they mention must
+# exist — so the docs can't silently rot as the tree moves underneath them.
+#
+# Backticked tokens may carry a :line suffix (internal/core/xccl.go:42) or a
+# Go symbol suffix (internal/ccl.Error); both resolve against the underlying
+# path. External links (http/https/mailto) and pure anchors are skipped.
+#
+# Usage: scripts/doclinks.sh   (exits non-zero listing every broken ref)
+set -eu
+cd "$(dirname "$0")/.."
+fail=0
+
+for f in docs/*.md README.md EXPERIMENTS.md; do
+	[ -f "$f" ] || continue
+	dir=$(dirname "$f")
+
+	# Relative markdown links: [text](target), minus external URLs/anchors.
+	grep -o '](\([^)]*\))' "$f" | sed 's/^](//; s/)$//' |
+		while IFS= read -r t; do
+			case $t in
+			http://* | https://* | mailto:* | '#'*) continue ;;
+			esac
+			t=${t%%#*}
+			[ -n "$t" ] || continue
+			if [ ! -e "$dir/$t" ] && [ ! -e "$t" ]; then
+				echo "doclinks: $f: broken link ($t)" >&2
+				echo broken >>"${TMPDIR:-/tmp}/doclinks.$$"
+			fi
+		done
+
+	# Backticked repo paths.
+	grep -o '`[A-Za-z0-9_./:-]*`' "$f" | tr -d '`' |
+		while IFS= read -r t; do
+			case $t in
+			internal/* | cmd/* | scripts/* | docs/*) ;;
+			*) continue ;;
+			esac
+			p=${t%%:*} # strip a :line suffix
+			# internal/ccl.Error -> internal/ccl (package path + symbol)
+			if [ ! -e "$p" ] && [ ! -e "${p%.*}" ]; then
+				echo "doclinks: $f: dangling repo path ($t)" >&2
+				echo broken >>"${TMPDIR:-/tmp}/doclinks.$$"
+			fi
+		done
+done
+
+# The per-file loops run in pipelines (subshells), so failures are collected
+# through a marker file rather than a shell variable.
+if [ -e "${TMPDIR:-/tmp}/doclinks.$$" ]; then
+	rm -f "${TMPDIR:-/tmp}/doclinks.$$"
+	fail=1
+fi
+[ "$fail" = 0 ] && echo "doclinks: all documentation links resolve"
+exit "$fail"
