@@ -60,6 +60,8 @@ func main() {
 		"run the hybrid-xCCL series with topology-aware hierarchical collectives (multi-node exhibits)")
 	persistent := flag.Bool("persistent", false,
 		"run the hybrid-xCCL series of the Horovod exhibits (fig7-fig10) on persistent partitioned allreduce handles")
+	chaos := flag.String("chaos", "",
+		"run the chaos soak instead of exhibits, as seed=N[,runs=M] (e.g. seed=7,runs=4)")
 	flag.Parse()
 
 	experiments.SetHierarchical(*hier)
@@ -77,6 +79,31 @@ func main() {
 	if *list {
 		for _, id := range experiments.IDs() {
 			fmt.Println(id)
+		}
+		return
+	}
+	if *chaos != "" {
+		var seed uint64
+		runs := 0
+		if n, err := fmt.Sscanf(*chaos, "seed=%d,runs=%d", &seed, &runs); err != nil && n < 1 {
+			fmt.Fprintf(os.Stderr, "xcclbench: bad -chaos %q (want seed=N[,runs=M])\n", *chaos)
+			os.Exit(2)
+		}
+		var reg *metrics.Registry
+		if *metricsFile != "" {
+			reg = metrics.NewRegistry()
+		}
+		out, err := experiments.RunChaos(seed, runs, reg)
+		fmt.Print(out)
+		if reg != nil {
+			if werr := writeMetrics(reg, *metricsFile); werr != nil {
+				fmt.Fprintf(os.Stderr, "xcclbench: %v\n", werr)
+				os.Exit(1)
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xcclbench: %v\n", err)
+			os.Exit(1)
 		}
 		return
 	}

@@ -31,6 +31,13 @@ func (x *Comm) run(op OpKind, bytes int64, d decision,
 		}
 		return
 	}
+	// Proactive fast-fail: a peer the heartbeat detector has confirmed
+	// dead would stall this collective until the watchdog fires; surface
+	// the same ErrRankDead verdict now instead of paying the timeout.
+	if err := x.suspectErr(op); err != nil {
+		x.noteRankFailure(op, err)
+		return
+	}
 	start := x.mpi.Proc().Now()
 	path := PathMPI
 	if d.useCCL && !x.rt.allowCCL(x, op) {

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"mpixccl/internal/fault"
+	"mpixccl/internal/metrics"
+	"mpixccl/internal/mpi"
+)
+
+// The full regrowth path: 4-device job, 3 active ranks plus 1 spare.
+// Rank 1 crashes, the survivors shrink to 2, Grow adopts the spare (whose
+// restore callback runs before the join), and an allreduce on the grown
+// communicator completes at the restored width with correct results.
+func TestGrowAdoptsSpareAfterShrink(t *testing.T) {
+	const active = 3
+	reg := metrics.NewRegistry()
+	rt := newRuntime(t, "thetagpu", 4, Options{
+		Backend: Auto, Mode: PureCCL, Metrics: reg, Resilience: watchdogPolicy(),
+	})
+	rt.Job().Fabric().SetFaults(fault.NewPlan(1).AddRule(fault.Rule{
+		Name: "crash", Crash: true, Ranks: []int{1}, Op: "allreduce", After: 1,
+	}))
+
+	const count = 256
+	restored := false
+	if err := rt.Run(func(x *Comm) {
+		if x.MPI().Rank() >= active {
+			nx, adopted := x.WaitAsSpare(func() {
+				x.MPI().Proc().Sleep(10 * time.Microsecond) // checkpoint read
+				restored = true
+			})
+			if !adopted {
+				t.Error("spare released without adoption despite a crash")
+				return
+			}
+			x = nx
+		} else {
+			members := make([]int, active)
+			for i := range members {
+				members[i] = i
+			}
+			x = rt.Wrap(x.MPI().Subset(members))
+
+			buf := x.Device().MustMalloc(count * 4)
+			defer buf.Free()
+			buf.FillFloat32(float32(x.Rank() + 1))
+			x.Allreduce(buf, buf, count, mpi.Float32, mpi.OpSum)
+			x.Allreduce(buf, buf, count, mpi.Float32, mpi.OpSum) // rank 1 dies here
+			if x.Failure() == nil {
+				t.Errorf("rank %d saw no failure", x.Rank())
+				return
+			}
+			if x.Dead() {
+				return
+			}
+			nx, err := x.Shrink()
+			if err != nil {
+				t.Errorf("rank %d shrink: %v", x.Rank(), err)
+				return
+			}
+			if nx.Size() != active-1 {
+				t.Errorf("shrunk size = %d, want %d", nx.Size(), active-1)
+			}
+			gx, adopted, err := nx.Grow(active - nx.Size())
+			if err != nil {
+				t.Errorf("rank %d grow: %v", x.Rank(), err)
+				return
+			}
+			if len(adopted) != 1 || adopted[0] != 3 {
+				t.Errorf("adopted = %v, want [3] (the parked spare)", adopted)
+			}
+			x = gx
+		}
+		// Survivors {0, 2} and the adopted spare {3}: the grown communicator
+		// must be full-width and collective-capable.
+		if x.Size() != active {
+			t.Errorf("grown size = %d, want %d", x.Size(), active)
+		}
+		buf := x.Device().MustMalloc(count * 4)
+		defer buf.Free()
+		buf.FillFloat32(float32(x.Rank() + 1))
+		x.Allreduce(buf, buf, count, mpi.Float32, mpi.OpSum)
+		if err := x.Failure(); err != nil {
+			t.Errorf("world rank %d post-grow failure: %v", x.MPI().WorldRank(), err)
+		} else if buf.Float32(0) != 6 {
+			t.Errorf("post-grow sum = %v, want 6", buf.Float32(0))
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !restored {
+		t.Error("spare joined without running its restore callback")
+	}
+	st := rt.Stats()
+	if st.Shrinks != 1 || st.Grows != 1 {
+		t.Errorf("Shrinks, Grows = %d, %d; want 1, 1", st.Shrinks, st.Grows)
+	}
+	if v, ok := reg.CounterValue("xccl_grow_total", metrics.Labels{"backend": "nccl"}); !ok || v != 1 {
+		t.Errorf("xccl_grow_total = %v (exists %v), want 1", v, ok)
+	}
+}
+
+// A fault-free run must drain cleanly: the unused spare is released (not
+// adopted), no grow happens, and the job terminates without deadlock.
+func TestUnusedSpareReleasedAtDrain(t *testing.T) {
+	rt := newRuntime(t, "thetagpu", 3, Options{Backend: Auto, Mode: PureCCL})
+	released := false
+	if err := rt.Run(func(x *Comm) {
+		if x.MPI().Rank() == 2 {
+			if _, adopted := x.WaitAsSpare(nil); adopted {
+				t.Error("spare adopted in a fault-free run")
+			} else {
+				released = true
+			}
+			return
+		}
+		x = rt.Wrap(x.MPI().Subset([]int{0, 1}))
+		buf := x.Device().MustMalloc(64)
+		defer buf.Free()
+		buf.FillFloat32(1)
+		x.Allreduce(buf, buf, 16, mpi.Float32, mpi.OpSum)
+		if buf.Float32(0) != 2 {
+			t.Errorf("sum = %v, want 2", buf.Float32(0))
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !released {
+		t.Error("spare never released")
+	}
+	if rt.Stats().Grows != 0 {
+		t.Errorf("Grows = %d, want 0", rt.Stats().Grows)
+	}
+}
+
+// Grow with an empty pool is a clean refusal: every caller gets
+// ErrNoSpares and keeps its current width.
+func TestGrowWithoutSpares(t *testing.T) {
+	rt := newRuntime(t, "thetagpu", 2, Options{Backend: Auto, Mode: PureCCL})
+	if err := rt.Run(func(x *Comm) {
+		if _, _, err := x.Grow(1); !errors.Is(err, ErrNoSpares) {
+			t.Errorf("rank %d: Grow on empty pool = %v, want ErrNoSpares", x.Rank(), err)
+		}
+		// Still collective-capable at the old width afterwards.
+		buf := x.Device().MustMalloc(64)
+		defer buf.Free()
+		buf.FillFloat32(1)
+		x.Allreduce(buf, buf, 16, mpi.Float32, mpi.OpSum)
+		if buf.Float32(0) != 2 {
+			t.Errorf("sum = %v, want 2", buf.Float32(0))
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

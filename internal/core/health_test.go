@@ -1,0 +1,153 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"mpixccl/internal/ccl"
+	"mpixccl/internal/fault"
+	"mpixccl/internal/metrics"
+	"mpixccl/internal/mpi"
+)
+
+// heartbeatPolicy arms both the watchdog and the proactive detector, with
+// the dl-layer default ratio (heartbeats 8× faster than the watchdog).
+func heartbeatPolicy() *Resilience {
+	pol := DefaultResilience()
+	pol.WatchdogTimeout = 200 * time.Microsecond
+	pol.HeartbeatInterval = pol.WatchdogTimeout / 8
+	return pol
+}
+
+// A fail-stopped rank's silence must be confirmed by the heartbeat
+// detector within half a watchdog timeout of the death, and a collective
+// attempted afterwards must fast-fail with the ErrRankDead verdict
+// instead of waiting out the watchdog.
+func TestHeartbeatDetectsCrashWithinHalfWatchdog(t *testing.T) {
+	const crashAt = time.Millisecond
+	pol := heartbeatPolicy()
+	reg := metrics.NewRegistry()
+	rt := newRuntime(t, "thetagpu", 4, Options{
+		Backend: Auto, Mode: PureCCL, Metrics: reg, Resilience: pol,
+	})
+	rt.Job().Fabric().SetFaults(fault.NewPlan(1).AddRule(fault.Rule{
+		Name: "die", Crash: true, Ranks: []int{2}, From: crashAt,
+	}))
+
+	if err := rt.Run(func(x *Comm) {
+		p := x.MPI().Proc()
+		if x.Rank() == 2 {
+			p.Sleep(crashAt) // fail-stop: the heartbeat daemon falls silent
+			return
+		}
+		// Idle past the crash, long enough for several detection intervals.
+		p.Sleep(crashAt + pol.WatchdogTimeout)
+		at, ok := rt.Suspected()[2]
+		if !ok {
+			t.Errorf("rank %d: detector has not suspected rank 2 by %v", x.Rank(), p.Now())
+			return
+		}
+		if lat := at - crashAt; lat > pol.WatchdogTimeout/2 {
+			t.Errorf("detection latency %v exceeds half the watchdog (%v)", lat, pol.WatchdogTimeout/2)
+		}
+		// The verdict short-circuits dispatch: no schedule launches, no
+		// watchdog wait, same error shape as the reactive path.
+		buf := x.Device().MustMalloc(1024)
+		defer buf.Free()
+		before := p.Now()
+		x.Allreduce(buf, buf, 256, mpi.Float32, mpi.OpSum)
+		err := x.Failure()
+		if !errors.Is(err, ccl.ErrRankDead) {
+			t.Errorf("rank %d failure = %v, want ErrRankDead", x.Rank(), err)
+		}
+		var ce *ccl.Error
+		if !errors.As(err, &ce) || ce.Rank != 2 {
+			t.Errorf("rank %d verdict names rank %v, want 2", x.Rank(), err)
+		}
+		if waited := p.Now() - before; waited >= pol.WatchdogTimeout/2 {
+			t.Errorf("fast-fail waited %v, should undercut the %v watchdog", waited, pol.WatchdogTimeout)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if s := rt.Stats().Suspicions; s != 1 {
+		t.Errorf("Suspicions = %d, want 1 (first witness only)", s)
+	}
+	lbl := metrics.Labels{"backend": "nccl", "outcome": "confirmed"}
+	if v, ok := reg.CounterValue("xccl_suspicions_total", lbl); !ok || v != 1 {
+		t.Errorf("confirmed suspicions counter = %v (exists %v), want 1", v, ok)
+	}
+	if v, ok := reg.CounterValue("xccl_heartbeats_sent_total", metrics.Labels{"backend": "nccl"}); !ok || v == 0 {
+		t.Error("no heartbeat rounds counted")
+	}
+}
+
+// A brownout window that stretches every heartbeat must produce
+// retractions, not kills: the accrual model widens and no rank is ever
+// confirmed dead.
+func TestHeartbeatRetractsOnBrownout(t *testing.T) {
+	pol := DefaultResilience()
+	pol.WatchdogTimeout = 2 * time.Millisecond
+	pol.HeartbeatInterval = 50 * time.Microsecond
+	reg := metrics.NewRegistry()
+	rt := newRuntime(t, "thetagpu", 2, Options{
+		Backend: Auto, Mode: PureCCL, Metrics: reg, Resilience: pol,
+	})
+	// 200× α on the intra link turns each ~1.8µs beat send into ~360µs —
+	// far past the suspicion threshold — while both ranks stay alive.
+	rt.Job().Fabric().SetFaults(fault.NewPlan(1).AddLinkRule(fault.LinkRule{
+		Name: "brownout", Link: "intra",
+		From: time.Millisecond, Until: 2 * time.Millisecond, AlphaScale: 200,
+	}))
+
+	if err := rt.Run(func(x *Comm) {
+		p := x.MPI().Proc()
+		p.Sleep(3 * time.Millisecond) // idle across the whole brownout
+		buf := x.Device().MustMalloc(1024)
+		defer buf.Free()
+		buf.FillFloat32(float32(x.Rank() + 1))
+		x.Allreduce(buf, buf, 256, mpi.Float32, mpi.OpSum)
+		if err := x.Failure(); err != nil {
+			t.Errorf("rank %d: brownout escalated to failure: %v", x.Rank(), err)
+		} else if buf.Float32(0) != 3 {
+			t.Errorf("post-brownout sum = %v, want 3", buf.Float32(0))
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if m := rt.Suspected(); m != nil {
+		t.Errorf("Suspected = %v, want none (both ranks alive)", m)
+	}
+	if s := rt.Stats().Suspicions; s != 0 {
+		t.Errorf("Suspicions = %d, want 0", s)
+	}
+	v, ok := reg.CounterValue("xccl_suspicions_total",
+		metrics.Labels{"backend": "nccl", "outcome": "retracted"})
+	if !ok || v == 0 {
+		t.Error("brownout produced no retractions; the detector never crossed its threshold")
+	}
+	if v, ok := reg.CounterValue("xccl_suspicions_total",
+		metrics.Labels{"backend": "nccl", "outcome": "confirmed"}); ok && v != 0 {
+		t.Errorf("brownout confirmed %v suspicions; live ranks must only retract", v)
+	}
+}
+
+// With the detector off (the default), Suspected reports nothing and
+// collectives rely on the watchdog alone — the feature must be inert.
+func TestHeartbeatOffByDefault(t *testing.T) {
+	rt := newRuntime(t, "thetagpu", 2, Options{Backend: Auto, Mode: PureCCL})
+	if err := rt.Run(func(x *Comm) {
+		buf := x.Device().MustMalloc(64)
+		defer buf.Free()
+		x.Allreduce(buf, buf, 16, mpi.Float32, mpi.OpSum)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if rt.Suspected() != nil {
+		t.Error("detector produced suspicions while disabled")
+	}
+	if rt.Stats().Suspicions != 0 {
+		t.Error("Suspicions counted while disabled")
+	}
+}

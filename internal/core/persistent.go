@@ -28,6 +28,14 @@ import (
 	"mpixccl/internal/trace"
 )
 
+// ErrOpFreed reports a Start or Wait on a handle already released by Free.
+// The wave did not run.
+var ErrOpFreed = errors.New("xccl: persistent op used after Free")
+
+// ErrOpDoubleFree reports a second Free of the same handle. The first
+// Free already released the CCL-layer scratch; the second did nothing.
+var ErrOpDoubleFree = errors.New("xccl: persistent op freed twice")
+
 // PersistentOp is one rank's handle on a persistent allreduce. The state
 // machine is Init → (Start → [Pready…] → Wait)* → Free:
 //
@@ -128,14 +136,24 @@ func (x *Comm) AllReduceInitPartitioned(send, recv *device.Buffer, count int, dt
 // one-shot call: a fail-stopped rank's Start fails fast and records the
 // verdict on the handle's communicator. Any other injected failure
 // demotes just this wave to the MPI path (executed in Wait) with breaker
-// feedback. Start on a revoked communicator no-ops with ErrCommRevoked.
+// feedback. Start on a revoked communicator no-ops with ErrCommRevoked;
+// Start on a freed handle no-ops with ErrOpFreed.
 func (po *PersistentOp) Start() error {
 	x := po.x
+	if po.freed {
+		return ErrOpFreed
+	}
 	if x.dead || x.rt.revoked[x.mpi.ContextID()] {
 		if x.failure == nil {
 			x.failure = ErrCommRevoked
 		}
 		return x.failure
+	}
+	// Heartbeat fast-fail, mirroring run(): a confirmed-dead peer cannot
+	// join this wave, so surface the verdict before launching.
+	if err := x.suspectErr(OpAllreduce); err != nil {
+		x.noteRankFailure(OpAllreduce, err)
+		return err
 	}
 	po.start = x.mpi.Proc().Now()
 	po.inflight = true
@@ -178,7 +196,7 @@ func (po *PersistentOp) Start() error {
 // flight (MPI_Pready). Valid between Start and Wait, once per partition
 // per wave. Non-partitioned and MPI-path handles ignore it.
 func (po *PersistentOp) Pready(k int) {
-	if po.pc == nil || po.demoted {
+	if po.freed || po.pc == nil || po.demoted {
 		return
 	}
 	po.pc.Pready(k)
@@ -186,7 +204,7 @@ func (po *PersistentOp) Pready(k int) {
 
 // PreadyAll marks every partition of the wave in flight ready.
 func (po *PersistentOp) PreadyAll() {
-	if po.pc == nil || po.demoted {
+	if po.freed || po.pc == nil || po.demoted {
 		return
 	}
 	po.pc.PreadyAll()
@@ -200,6 +218,9 @@ func (po *PersistentOp) PreadyAll() {
 // same trace record and metric aggregates as a one-shot call.
 func (po *PersistentOp) Wait() error {
 	x := po.x
+	if po.freed {
+		return ErrOpFreed
+	}
 	if !po.inflight {
 		return x.failure
 	}
@@ -265,14 +286,16 @@ func (po *PersistentOp) PlannedAlgorithm() string {
 }
 
 // Free releases the handle's CCL-layer scratch once every rank handle
-// has called it, after the final Wait. A freed handle must not be
-// Started again.
-func (po *PersistentOp) Free() {
+// has called it, after the final Wait. Freeing twice returns
+// ErrOpDoubleFree (the handle stays freed; nothing is released twice),
+// and a freed handle rejects Start and Wait with ErrOpFreed.
+func (po *PersistentOp) Free() error {
 	if po.freed {
-		return
+		return ErrOpDoubleFree
 	}
 	po.freed = true
 	if po.pc != nil {
 		po.pc.Free()
 	}
+	return nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -312,5 +313,51 @@ func TestPersistentStats(t *testing.T) {
 		if !tc.ccl && st.MPIOps != want {
 			t.Errorf("mode %v: MPIOps = %d, want %d", tc.mode, st.MPIOps, want)
 		}
+	}
+}
+
+// The handle lifecycle must reject use-after-Free and double-Free with
+// distinct sentinel errors, on both the CCL-path and MPI-path variants,
+// and Pready on a freed handle must be a silent no-op (its wave already
+// cannot run).
+func TestPersistentFreeStateMachine(t *testing.T) {
+	for _, mode := range []Mode{PureCCL, PureMPI} {
+		t.Run(mode.String(), func(t *testing.T) {
+			rt := newRuntime(t, "thetagpu", 2, Options{Backend: Auto, Mode: mode})
+			if err := rt.Run(func(x *Comm) {
+				buf := x.Device().MustMalloc(1024)
+				defer buf.Free()
+				po, err := x.AllReduceInitPartitioned(buf, buf, 256, mpi.Float32, mpi.OpSum, 2)
+				if err != nil {
+					t.Errorf("init: %v", err)
+					return
+				}
+				if po.UsesCCL() != (mode == PureCCL) {
+					t.Errorf("UsesCCL = %v in %v mode", po.UsesCCL(), mode)
+				}
+				if err := po.Do(); err != nil {
+					t.Errorf("wave before Free: %v", err)
+				}
+				if err := po.Free(); err != nil {
+					t.Errorf("first Free = %v, want nil", err)
+				}
+				if err := po.Free(); !errors.Is(err, ErrOpDoubleFree) {
+					t.Errorf("second Free = %v, want ErrOpDoubleFree", err)
+				}
+				if err := po.Start(); !errors.Is(err, ErrOpFreed) {
+					t.Errorf("Start after Free = %v, want ErrOpFreed", err)
+				}
+				po.Pready(0) // must not panic or reach the freed schedule
+				po.PreadyAll()
+				if err := po.Wait(); !errors.Is(err, ErrOpFreed) {
+					t.Errorf("Wait after Free = %v, want ErrOpFreed", err)
+				}
+				if x.Failure() != nil {
+					t.Errorf("freed-handle misuse poisoned the communicator: %v", x.Failure())
+				}
+			}); err != nil {
+				t.Fatal(err)
+			}
+		})
 	}
 }

@@ -40,6 +40,27 @@ type Resilience struct {
 	// the largest healthy inter-rank skew (compute imbalance, injected
 	// straggler delays) or slow ranks are misread as dead.
 	WatchdogTimeout time.Duration
+	// HeartbeatInterval arms the proactive heartbeat failure detector:
+	// every rank runs a daemon that sends a control-message heartbeat to
+	// its peers each interval and accrues suspicion (phi-accrual style,
+	// calibrated to observed inter-arrival jitter) against peers whose
+	// beats stop. A confirmed suspicion feeds the same ErrRankDead path
+	// as the watchdog, so crashes are detected in a few intervals instead
+	// of a full collective timeout. 0 (the default) disables the
+	// detector. Pick an interval several times smaller than
+	// WatchdogTimeout — detection latency is a small multiple of it.
+	HeartbeatInterval time.Duration
+	// HeartbeatPhi is the suspicion threshold, in units of inter-arrival
+	// deviations beyond the mean, at which a silent peer is checked
+	// against the fail-stop oracle. Higher values tolerate more jitter
+	// (brownouts, stragglers) before suspecting. 0 means 8.
+	HeartbeatPhi float64
+	// Integrity turns on end-to-end CRC32C verification of fabric data
+	// transfers with detect-and-retransmit: a corrupted payload (see
+	// fault.CorruptRule) is caught by the checksum and retransmitted, up
+	// to MaxRetries times per transfer. Off by default; the transfer hot
+	// path is byte-identical in virtual time when off.
+	Integrity bool
 	// Disabled turns the whole policy off (PR-1 behavior: every CCL
 	// error falls back immediately, no breaker).
 	Disabled bool

@@ -39,12 +39,16 @@ func (x *Comm) Failure() error { return x.failure }
 // the survivors are agreeing to exclude.
 func (x *Comm) Dead() bool { return x.dead }
 
-// noteRankFailure records a fail-stop verdict on this rank's handle: the
-// dead rank's own detection ("rank_dead", counted once per crash) or a
-// survivor's watchdog verdict ("rank_dead_detected"). Only the first
-// verdict per handle is recorded — a caller that keeps dispatching on the
-// broken communicator (legal until it revokes) fails again on every op,
-// and those repeats must not inflate the counters or the trace.
+// noteRankFailure records a fail-stop verdict on this rank's handle. Every
+// verdict — the dead rank's own detection, a survivor's watchdog verdict,
+// or a heartbeat suspicion — emits one "rank_dead" trace event (the Record
+// names the observing rank; earlier PRs split this into rank_dead /
+// rank_dead_detected, an undocumented drift this unifies). Only the dead
+// rank's own detection increments the failure counters, so they stay exact
+// rather than per-witness. Only the first verdict per handle is recorded —
+// a caller that keeps dispatching on the broken communicator (legal until
+// it revokes) fails again on every op, and those repeats must not inflate
+// the counters or the trace.
 func (x *Comm) noteRankFailure(op OpKind, err error) {
 	var ce *ccl.Error
 	if errors.As(err, &ce) && ce.Rank == x.mpi.WorldRank() {
@@ -55,11 +59,9 @@ func (x *Comm) noteRankFailure(op OpKind, err error) {
 	}
 	x.failure = err
 	rt := x.rt
-	event := "rank_dead_detected"
 	if x.dead {
 		// Self-detection: exactly one rank observes each crash as its own,
 		// so the failure counter is exact, not per-witness.
-		event = "rank_dead"
 		rt.stats.RankFailures++
 		rt.opts.Metrics.Counter("xccl_rank_failures_total",
 			"Fail-stopped ranks, counted once per crash on the dead rank's own detection.",
@@ -67,7 +69,7 @@ func (x *Comm) noteRankFailure(op OpKind, err error) {
 	}
 	rec := trace.Record{
 		Op: string(op), Backend: string(rt.kind), Rank: x.Rank(),
-		Event: event, Start: x.mpi.Proc().Now(),
+		Event: "rank_dead", Start: x.mpi.Proc().Now(),
 	}
 	rt.opts.Trace.Add(rec)
 	trace.RecordMetrics(rt.opts.Metrics, rec)

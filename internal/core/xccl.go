@@ -148,8 +148,15 @@ type Stats struct {
 	// exactly once, on the dead rank's own fast-failing call (survivors'
 	// watchdog verdicts detect the same crash but do not re-count it).
 	RankFailures int
+	// Suspicions counts confirmed heartbeat suspicions: peers whose beats
+	// stopped and whom the fail-stop oracle confirmed dead. Retracted
+	// (false-positive) suspicions are not counted here; see the
+	// xccl_suspicions_total metric's outcome label.
+	Suspicions int
 	// Shrinks counts completed ULFM-style communicator shrinks.
 	Shrinks int
+	// Grows counts completed spare-rank communicator grows.
+	Grows int
 	// Fallbacks counts MPI fallbacks by cause.
 	Fallbacks struct {
 		Datatype, Op, Device, HostBuffer, Error int
@@ -199,6 +206,11 @@ type Runtime struct {
 
 	revoked map[int]bool         // revoked communicator context ids (ULFM)
 	shrinks map[int]*shrinkState // in-flight Shrink rendezvous by context id
+	grows   map[int]*growState   // in-flight Grow rendezvous by context id
+
+	health    *healthMonitor     // heartbeat failure detector (nil when off)
+	worldMPI  map[int]*mpi.Comm  // world rank -> its world communicator handle
+	sparePool map[int]*spareSlot // parked spare ranks by world rank
 }
 
 // watchdogTimeout resolves the armed collective-watchdog deadline
@@ -227,20 +239,35 @@ type commInit struct {
 // Table the built-in table for (system, backend) is used.
 func NewRuntime(job *mpi.Job, opts Options) (*Runtime, error) {
 	rt := &Runtime{
-		job:      job,
-		opts:     opts,
-		streams:  make(map[int]*device.Stream),
-		cache:    make(map[string][]*ccl.Comm),
-		pending:  make(map[string]*commInit),
-		breakers: make(map[breakerKey]*breaker),
-		waves:    make(map[waveKey]*waveVerdict),
-		waveIdx:  make(map[rankKey]int),
-		revoked:  make(map[int]bool),
-		shrinks:  make(map[int]*shrinkState),
+		job:       job,
+		opts:      opts,
+		streams:   make(map[int]*device.Stream),
+		cache:     make(map[string][]*ccl.Comm),
+		pending:   make(map[string]*commInit),
+		breakers:  make(map[breakerKey]*breaker),
+		waves:     make(map[waveKey]*waveVerdict),
+		waveIdx:   make(map[rankKey]int),
+		revoked:   make(map[int]bool),
+		shrinks:   make(map[int]*shrinkState),
+		grows:     make(map[int]*growState),
+		worldMPI:  make(map[int]*mpi.Comm),
+		sparePool: make(map[int]*spareSlot),
 	}
 	rt.policy = opts.Resilience
 	if rt.policy == nil {
 		rt.policy = DefaultResilience()
+	}
+	if !rt.policy.Disabled {
+		if rt.policy.Integrity {
+			job.Fabric().SetIntegrity(fabric.Integrity{Enabled: true, MaxRetries: rt.policy.MaxRetries})
+		}
+		if rt.policy.HeartbeatInterval > 0 {
+			phi := rt.policy.HeartbeatPhi
+			if phi <= 0 {
+				phi = 8
+			}
+			rt.health = newHealthMonitor(rt, rt.policy.HeartbeatInterval, phi)
+		}
 	}
 	if opts.Mode != PureMPI {
 		kind, err := backendFor(opts.Backend, job.Fabric().System().Device(0).Kind)
@@ -332,11 +359,46 @@ func (rt *Runtime) Wrap(c *mpi.Comm) *Comm {
 }
 
 // Run launches fn on every rank of the job with a wrapped world
-// communicator and drives the simulation to completion.
+// communicator and drives the simulation to completion. It also hosts the
+// runtime's ambient health machinery: world communicator handles are
+// registered for the spare-rank Grow path, heartbeat daemons (when the
+// policy arms them) start per rank, and both wind down when every
+// non-spare rank has returned — parked spares are released so the job can
+// drain.
 func (rt *Runtime) Run(fn func(x *Comm)) error {
+	done := 0
 	return rt.job.Run(func(c *mpi.Comm) {
+		rt.worldMPI[c.Rank()] = c
+		if rt.health != nil {
+			rt.health.start(c)
+		}
 		fn(rt.Wrap(c))
+		done++
+		if done+len(rt.sparePool) == rt.job.Size() {
+			// Every rank still computing is a parked spare: release them
+			// (they return without adoption) and stop the heartbeats so
+			// the kernel can drain. Released spares re-enter this check
+			// with an empty pool, which re-fires the idempotent stop.
+			rt.releaseSpares()
+			if rt.health != nil {
+				rt.health.stop()
+			}
+		}
 	})
+}
+
+// Suspected returns a copy of the heartbeat detector's confirmed
+// suspicions: world rank -> virtual time of suspicion. Nil when the
+// detector is off or has suspected nobody.
+func (rt *Runtime) Suspected() map[int]time.Duration {
+	if rt.health == nil || len(rt.health.suspected) == 0 {
+		return nil
+	}
+	out := make(map[int]time.Duration, len(rt.health.suspected))
+	for r, t := range rt.health.suspected {
+		out[r] = t
+	}
+	return out
 }
 
 // mapDatatype translates an MPI datatype to the CCL's, reporting false for

@@ -1,6 +1,7 @@
 package dl
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"time"
@@ -23,12 +24,21 @@ const ckptBandwidth = 12 << 30
 type ElasticReport struct {
 	Report
 	// StartRanks and FinalRanks are the worker counts before the first
-	// step and after the last (they differ by the crashed ranks).
+	// step and after the last (without spares they differ by the crashed
+	// ranks; with spares a successful Grow restores the original width).
 	StartRanks, FinalRanks int
 	// CrashedRanks lists the world ranks that fail-stopped.
 	CrashedRanks []int
 	// Shrinks counts completed communicator shrinks.
 	Shrinks int
+	// Grows counts completed spare-rank communicator grows.
+	Grows int
+	// AdoptedRanks lists the spare world ranks adopted by Grows, in
+	// adoption order.
+	AdoptedRanks []int
+	// SuspectedAt maps world ranks the heartbeat detector confirmed dead
+	// to the virtual time of suspicion (nil when the detector is off).
+	SuspectedAt map[int]time.Duration
 	// RollbackSteps is the total training steps re-executed after
 	// rollbacks to the last checkpoint.
 	RollbackSteps int
@@ -60,6 +70,14 @@ func lossAfter(examples int64) float64 {
 // checkpoint, and continue training on the smaller world. The run is
 // deterministic: same config + same fault plan = same report.
 //
+// With Config.Spares > 0 the run recovers to full width instead: the job
+// launches extra ranks that park in the runtime's spare pool, the
+// heartbeat failure detector (armed by default alongside spares) catches
+// crashes in a few intervals, and after the Shrink the survivors Grow the
+// communicator back by adopting spares, which restore their replica from
+// the last checkpoint before joining. A recovered run processes exactly
+// the examples a fault-free one does, so the final loss matches.
+//
 // The engine is the xCCL runtime in PureCCL mode — recovery needs every
 // gradient exchange on the watchdog-guarded CCL path, since an MPI
 // collective would block forever on the dead peer.
@@ -72,6 +90,12 @@ func TrainElastic(cfg Config) (ElasticReport, error) {
 	if pol == nil {
 		pol = core.DefaultResilience()
 		pol.WatchdogTimeout = 2 * time.Millisecond
+		if cfg.Spares > 0 {
+			// Proactive detection: heartbeats a few times faster than the
+			// watchdog, so the detector confirms a crash well before a
+			// blocked collective would time out.
+			pol.HeartbeatInterval = pol.WatchdogTimeout / 8
+		}
 	}
 	k := sim.NewKernel()
 	sys, err := topology.Preset(k, cfg.System, cfg.Nodes)
@@ -84,7 +108,14 @@ func TrainElastic(cfg Config) (ElasticReport, error) {
 	}
 	nranks := cfg.Ranks
 	if nranks == 0 {
-		nranks = sys.NumDevices()
+		nranks = sys.NumDevices() - cfg.Spares
+	}
+	if nranks <= 0 {
+		return ElasticReport{}, fmt.Errorf("dl: no active ranks left after %d spares on %d devices", cfg.Spares, sys.NumDevices())
+	}
+	nprocs := nranks + cfg.Spares
+	if nprocs > sys.NumDevices() {
+		return ElasticReport{}, fmt.Errorf("dl: %d ranks + %d spares exceed the %d devices of %s", nranks, cfg.Spares, sys.NumDevices(), cfg.System)
 	}
 	buckets := FuseBuckets(cfg.Model.Tensors, cfg.FusionBytes)
 	var maxBucket int64
@@ -98,7 +129,7 @@ func TrainElastic(cfg Config) (ElasticReport, error) {
 	rate := computeRate(sys.Device(0).Kind)
 	computeTime := time.Duration(float64(cfg.BatchSize) / rate * float64(time.Second))
 
-	job := mpi.NewJobOnSystem(fab, mpi.MVAPICHProfile(), sys, nranks)
+	job := mpi.NewJobOnSystem(fab, mpi.MVAPICHProfile(), sys, nprocs)
 	rt, err := core.NewRuntime(job, core.Options{
 		Backend: cfg.Backend, Mode: core.PureCCL, Metrics: cfg.Metrics, Resilience: pol,
 	})
@@ -111,10 +142,47 @@ func TrainElastic(cfg Config) (ElasticReport, error) {
 
 	rep := ElasticReport{StartRanks: nranks}
 	rep.Ranks, rep.BatchSize, rep.Buckets = nranks, cfg.BatchSize, len(buckets)
+	// ckpt is the checkpoint store's view of training progress, written by
+	// every worker at each (synchronous, globally consistent) checkpoint.
+	// Adopted spares restore from it before joining the grown world.
+	var ckpt struct {
+		step     int
+		examples int64
+	}
 	if err := rt.Run(func(x *core.Comm) {
+		p := x.MPI().Proc()
+		step := 0
+		var examples, examplesAtCkpt int64
+		lastCkpt := 0
+		if cfg.Spares > 0 {
+			if x.MPI().Rank() >= nranks {
+				// Spare: park until a Grow adopts this rank. Restoring the
+				// replica pays one checkpoint read (same serialization cost
+				// as a write) before the join completes, and resumes the
+				// training state the checkpoint froze.
+				nx, adopted := x.WaitAsSpare(func() {
+					p.Sleep(ckptTime)
+					step, examples = ckpt.step, ckpt.examples
+					lastCkpt, examplesAtCkpt = step, examples
+				})
+				if !adopted {
+					return
+				}
+				x = nx
+				p = x.MPI().Proc()
+			} else {
+				// Active ranks narrow to their own communicator: a world
+				// collective would wait forever on the parked spares.
+				active := make([]int, nranks)
+				for i := range active {
+					active[i] = i
+				}
+				x = rt.Wrap(x.MPI().Subset(active))
+				p = x.MPI().Proc()
+			}
+		}
 		grad := x.Device().MustMalloc(maxBucket)
 		defer grad.Free()
-		p := x.MPI().Proc()
 		// Persistent mode: one handle per fusion bucket, rebuilt on the
 		// survivor communicator after every Shrink (handles are bound to
 		// the communicator their Init rendezvoused on; a shrink breaks
@@ -147,9 +215,6 @@ func TrainElastic(cfg Config) (ElasticReport, error) {
 		if cfg.Persistent {
 			buildHandles()
 		}
-		step := 0
-		var examples, examplesAtCkpt int64
-		lastCkpt := 0
 		for step < cfg.Steps {
 			start := p.Now()
 			p.Sleep(computeTime)
@@ -182,6 +247,21 @@ func TrainElastic(cfg Config) (ElasticReport, error) {
 				}
 				x = nx
 				p = x.MPI().Proc()
+				if cfg.Spares > 0 && x.Size() < nranks {
+					// Recover to full width: adopt spares for the lost
+					// ranks. An exhausted pool is not fatal — training
+					// continues at the shrunk width, like the no-spare mode.
+					gx, adopted, gerr := x.Grow(nranks - x.Size())
+					if gerr == nil {
+						x = gx
+						p = x.MPI().Proc()
+						if x.Rank() == 0 {
+							rep.AdoptedRanks = append(rep.AdoptedRanks, adopted...)
+						}
+					} else if !errors.Is(gerr, core.ErrNoSpares) {
+						panic(fmt.Sprintf("dl: grow failed: %v", gerr))
+					}
+				}
 				if cfg.Persistent {
 					// The old handles died with the revoked communicator;
 					// re-Init on the survivors (same bucket plan, same
@@ -207,6 +287,7 @@ func TrainElastic(cfg Config) (ElasticReport, error) {
 				// replica to host storage before the next step.
 				p.Sleep(ckptTime)
 				lastCkpt, examplesAtCkpt = step, examples
+				ckpt.step, ckpt.examples = step, examples
 				if x.Rank() == 0 {
 					rep.Checkpoints++
 				}
@@ -227,6 +308,8 @@ func TrainElastic(cfg Config) (ElasticReport, error) {
 	}
 	rep.StepTime = total / time.Duration(len(rep.StepLatency))
 	rep.Shrinks = rt.Stats().Shrinks
+	rep.Grows = rt.Stats().Grows
+	rep.SuspectedAt = rt.Suspected()
 	rep.ImgPerSec = float64(cfg.BatchSize*rep.FinalRanks) / rep.StepTime.Seconds()
 	return rep, nil
 }

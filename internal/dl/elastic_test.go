@@ -3,6 +3,7 @@ package dl
 import (
 	"math"
 	"testing"
+	"time"
 
 	"mpixccl/internal/fault"
 	"mpixccl/internal/metrics"
@@ -180,5 +181,73 @@ func TestTrainElasticFirstStepCrash(t *testing.T) {
 	}
 	if len(rep.Loss) != 2 {
 		t.Errorf("len(Loss) = %d, want 2", len(rep.Loss))
+	}
+}
+
+// With a spare rank, a crashed run recovers to full width: the heartbeat
+// detector confirms the death within half a watchdog, the survivors
+// shrink and immediately grow by adopting the spare, and — because every
+// completed step runs at the original width — the loss curve is identical
+// to a fault-free run.
+func TestTrainElasticSparesRecoverFullWidth(t *testing.T) {
+	shadow := elasticConfig(nil)
+	shadow.Ranks = 7
+	want, err := TrainElastic(shadow)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := metrics.NewRegistry()
+	cfg := elasticConfig(reg)
+	cfg.Ranks, cfg.Spares = 7, 1 // 7 workers + 1 parked spare on the 8-GPU node
+	nb := tinyBuckets()
+	plan := fault.NewPlan(7).AddRule(fault.Rule{
+		Name: "crash", Crash: true, Ranks: []int{5}, Op: "allreduce",
+		After: 2*nb + nb/2,
+	})
+	cfg.Faults = plan
+	rep, err := TrainElastic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.StartRanks != 7 || rep.FinalRanks != 7 {
+		t.Errorf("ranks %d -> %d, want 7 -> 7 (recovered to full width)", rep.StartRanks, rep.FinalRanks)
+	}
+	if len(rep.CrashedRanks) != 1 || rep.CrashedRanks[0] != 5 {
+		t.Errorf("CrashedRanks = %v, want [5]", rep.CrashedRanks)
+	}
+	if rep.Shrinks != 1 || rep.Grows != 1 {
+		t.Errorf("Shrinks, Grows = %d, %d; want 1, 1", rep.Shrinks, rep.Grows)
+	}
+	if len(rep.AdoptedRanks) != 1 || rep.AdoptedRanks[0] != 7 {
+		t.Errorf("AdoptedRanks = %v, want [7] (the spare's world rank)", rep.AdoptedRanks)
+	}
+	// Proactive detection: the heartbeat detector (armed by default when
+	// spares are configured) confirmed the death well before the 2ms
+	// collective watchdog would have.
+	diedAt, ok := plan.DeathTime(5)
+	if !ok {
+		t.Fatal("fault plan did not record rank 5's death time")
+	}
+	suspectedAt, ok := rep.SuspectedAt[5]
+	if !ok {
+		t.Fatalf("SuspectedAt = %v, missing rank 5", rep.SuspectedAt)
+	}
+	const wd = 2 * time.Millisecond // TrainElastic's default watchdog
+	if lat := suspectedAt - diedAt; lat <= 0 || lat > wd/2 {
+		t.Errorf("detection latency = %v, want within (0, %v]", lat, wd/2)
+	}
+	// Every completed step ran at 7 ranks, so the whole loss curve — not
+	// just the final value — matches the fault-free shadow run.
+	if len(rep.Loss) != len(want.Loss) {
+		t.Fatalf("len(Loss) = %d, want %d", len(rep.Loss), len(want.Loss))
+	}
+	for i := range rep.Loss {
+		if math.Abs(rep.Loss[i]-want.Loss[i]) > 1e-12 {
+			t.Errorf("Loss[%d] = %v, shadow %v", i, rep.Loss[i], want.Loss[i])
+		}
+	}
+	if v, ok := reg.CounterValue("xccl_grow_total", metrics.Labels{"backend": "nccl"}); !ok || v != 1 {
+		t.Errorf("xccl_grow_total = %v (exists %v), want 1", v, ok)
 	}
 }

@@ -114,6 +114,16 @@ type Config struct {
 	// produced, letting the intra-node phase and the inter-node leader
 	// ring consume partitions while later ones are still being computed.
 	Partitions int
+	// Spares is TrainElastic's pre-provisioned spare-rank count: the job
+	// launches Ranks+Spares processes, the extras park in the runtime's
+	// spare pool, and after a crash the survivors Shrink and then Grow
+	// back to the original width by adopting spares (which restore their
+	// replica from the last checkpoint). When the resilience policy is
+	// defaulted, Spares > 0 also arms the heartbeat failure detector at
+	// an eighth of the watchdog timeout, so crashes are caught in a few
+	// heartbeat intervals instead of a full collective timeout. Other
+	// train entry points ignore the field.
+	Spares int
 }
 
 func (c *Config) fillDefaults() {

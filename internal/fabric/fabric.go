@@ -15,6 +15,7 @@ package fabric
 
 import (
 	"fmt"
+	"hash/crc32"
 	"time"
 
 	"mpixccl/internal/device"
@@ -22,6 +23,11 @@ import (
 	"mpixccl/internal/sim"
 	"mpixccl/internal/topology"
 )
+
+// castagnoli is the CRC32C polynomial table used for end-to-end payload
+// integrity. CRC32C is what real NICs and NVLink offload in hardware, so
+// the check itself charges no virtual time.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // DefaultChunk is the pipeline chunk size used when Opts.ChunkBytes is zero.
 const DefaultChunk = 512 << 10
@@ -81,6 +87,33 @@ type FailStop interface {
 	DeadRanks(now time.Duration) []int
 }
 
+// Corrupter is the payload-corruption hook (implemented by fault.Plan with
+// corrupt rules). The fabric probes it once per data-transfer attempt —
+// after the bytes land in the destination buffer — and XORs the returned
+// offsets, modeling silent corruption on the wire. Retransmissions probe
+// again, so a probabilistic rule can corrupt a retry independently.
+type Corrupter interface {
+	// CorruptTransfer returns the distinct destination offsets to flip for
+	// an n-byte transfer over the route at now, or nil to leave it intact.
+	CorruptTransfer(class string, srcNode, dstNode int, n int64, now time.Duration) []int64
+}
+
+// Integrity configures end-to-end CRC32C verification of data transfers.
+// When enabled, every non-local transfer checksums source and destination
+// after the copy; a mismatch (injected by a Corrupter) triggers a
+// retransmission, up to MaxRetries, after which the corrupt payload is
+// delivered anyway and counted as unrecovered — erroring out mid-schedule
+// would strand the peer ranks of a collective, so the policy layer above
+// observes the unrecovered counter instead.
+type Integrity struct {
+	// Enabled turns on checksumming. Off by default: the CRC path is
+	// byte-identical in virtual time when disabled.
+	Enabled bool
+	// MaxRetries bounds retransmissions per transfer; 0 means none
+	// (detect and deliver).
+	MaxRetries int
+}
+
 // Fabric prices and executes transfers over one system's links.
 type Fabric struct {
 	k   *sim.Kernel
@@ -94,10 +127,12 @@ type Fabric struct {
 
 	routes map[[2]int]route // memoized per (src.ID, dst.ID) device pair
 
-	faults   any      // attached fault agent (see SetFaults)
-	degrader Degrader // faults, when it implements Degrader
-	failstop FailStop // faults, when it implements FailStop
-	reg      *metrics.Registry
+	faults    any       // attached fault agent (see SetFaults)
+	degrader  Degrader  // faults, when it implements Degrader
+	failstop  FailStop  // faults, when it implements FailStop
+	corrupter Corrupter // faults, when it implements Corrupter
+	integrity Integrity
+	reg       *metrics.Registry
 }
 
 // SetFaults attaches a fault agent (typically a *fault.Plan) to the
@@ -110,6 +145,7 @@ func (f *Fabric) SetFaults(agent any) {
 	f.faults = agent
 	f.degrader, _ = agent.(Degrader)
 	f.failstop, _ = agent.(FailStop)
+	f.corrupter, _ = agent.(Corrupter)
 }
 
 // Faults returns the attached fault agent (nil when none).
@@ -118,6 +154,12 @@ func (f *Fabric) Faults() any { return f.faults }
 // FailStop returns the attached fail-stop detector, or nil when the fault
 // agent does not model rank crashes.
 func (f *Fabric) FailStop() FailStop { return f.failstop }
+
+// SetIntegrity configures end-to-end CRC32C checking of data transfers.
+func (f *Fabric) SetIntegrity(i Integrity) { f.integrity = i }
+
+// Integrity returns the active integrity configuration.
+func (f *Fabric) Integrity() Integrity { return f.integrity }
 
 // SetMetrics wires a registry for fabric-level counters (degraded
 // transfers). A nil registry disables them.
@@ -314,7 +356,6 @@ func (f *Fabric) TryTransfer(p *sim.Proc, dst, src *device.Buffer, n int64, o Op
 			maxCh = lf.ChannelCap
 		}
 	}
-	p.Sleep(alpha)
 	want := o.Channels
 	if want < 1 {
 		want = 1
@@ -326,38 +367,86 @@ func (f *Fabric) TryTransfer(p *sim.Proc, dst, src *device.Buffer, n int64, o Op
 	if chunk <= 0 {
 		chunk = DefaultChunk
 	}
-	for off := int64(0); off < n || (n == 0 && off == 0); off += chunk {
-		sz := chunk
-		if off+sz > n {
-			sz = n - off
-		}
-		if sz <= 0 {
-			break
-		}
-		// Acquire adaptively through every pool in order; if a later pool
-		// grants less, return the surplus to the earlier ones. This lets
-		// opposing flows converge to a fair split of a shared duplex pool
-		// instead of alternating full-width.
-		granted := r.pools[0].AcquireUpTo(p, want)
-		for _, pool := range r.pools[1:] {
-			g := pool.AcquireUpTo(p, granted)
-			if g < granted {
-				for _, prev := range r.pools {
-					if prev == pool {
-						break
+	// xfer pays one full wire attempt: the α, the chunked pipeline, and the
+	// byte copy. Retransmissions (integrity retries) replay it under the
+	// degradation snapshot taken at the transfer's start.
+	xfer := func() {
+		p.Sleep(alpha)
+		for off := int64(0); off < n || (n == 0 && off == 0); off += chunk {
+			sz := chunk
+			if off+sz > n {
+				sz = n - off
+			}
+			if sz <= 0 {
+				break
+			}
+			// Acquire adaptively through every pool in order; if a later pool
+			// grants less, return the surplus to the earlier ones. This lets
+			// opposing flows converge to a fair split of a shared duplex pool
+			// instead of alternating full-width.
+			granted := r.pools[0].AcquireUpTo(p, want)
+			for _, pool := range r.pools[1:] {
+				g := pool.AcquireUpTo(p, granted)
+				if g < granted {
+					for _, prev := range r.pools {
+						if prev == pool {
+							break
+						}
+						prev.Release(granted - g)
 					}
-					prev.Release(granted - g)
+					granted = g
 				}
-				granted = g
+			}
+			p.Sleep(time.Duration(float64(sz) / (float64(granted) * bw) * float64(time.Second)))
+			for _, pool := range r.pools {
+				pool.Release(granted)
 			}
 		}
-		p.Sleep(time.Duration(float64(sz) / (float64(granted) * bw) * float64(time.Second)))
-		for _, pool := range r.pools {
-			pool.Release(granted)
+		if !o.NoCopy && n > 0 {
+			copy(dst.Bytes()[:n], src.Bytes()[:n])
 		}
 	}
-	if !o.NoCopy && n > 0 {
-		copy(dst.Bytes()[:n], src.Bytes()[:n])
+	xfer()
+	if o.NoCopy || n == 0 || (f.corrupter == nil && !f.integrity.Enabled) {
+		return p.Now() - start, nil
+	}
+	for attempt := 0; ; attempt++ {
+		if f.corrupter != nil {
+			if offs := f.corrupter.CorruptTransfer(r.class, r.srcNode, r.dstNode, n, p.Now()); len(offs) > 0 {
+				b := dst.Bytes()
+				for _, off := range offs {
+					if off >= 0 && off < n {
+						b[off] ^= 0xff
+					}
+				}
+				f.reg.Counter("xccl_corruptions_injected_total",
+					"Transfers whose payload was corrupted on the wire, by link class.",
+					metrics.Labels{"link": r.class}).Inc()
+			}
+		}
+		if !f.integrity.Enabled {
+			break
+		}
+		// CRC32C of source vs destination; NIC-offloaded, so no virtual time.
+		if crc32.Checksum(src.Bytes()[:n], castagnoli) == crc32.Checksum(dst.Bytes()[:n], castagnoli) {
+			break
+		}
+		f.reg.Counter("xccl_corruptions_detected_total",
+			"Transfers whose CRC32C check caught a payload mismatch, by link class.",
+			metrics.Labels{"link": r.class}).Inc()
+		if attempt >= f.integrity.MaxRetries {
+			// Out of retransmit budget: deliver the corrupt payload rather
+			// than strand the collective's peer ranks, and let the policy
+			// layer observe the unrecovered counter.
+			f.reg.Counter("xccl_corruptions_unrecovered_total",
+				"Transfers delivered corrupt after exhausting the retransmit budget, by link class.",
+				metrics.Labels{"link": r.class}).Inc()
+			break
+		}
+		f.reg.Counter("xccl_transfer_retransmits_total",
+			"Retransmissions triggered by CRC32C mismatches, by link class.",
+			metrics.Labels{"link": r.class}).Inc()
+		xfer()
 	}
 	return p.Now() - start, nil
 }

@@ -12,7 +12,11 @@
 //     Attach with fabric.Fabric.SetFaults.
 //   - fabric.FailStop — fail-stop crash rules (Rule.Crash) that kill a rank
 //     permanently at a virtual time or after a call budget; the collective
-//     watchdog and ULFM-style shrink in internal/core consume this hook.
+//     watchdog, the heartbeat failure detector, and the ULFM-style shrink in
+//     internal/core consume this hook.
+//   - fabric.Corrupter — payload-corruption rules (CorruptRule) that flip
+//     bytes of matching fabric data transfers, the silent-data-corruption
+//     model the fabric's CRC32C integrity checking defends against.
 //
 // Determinism: all probabilistic decisions come from one splitmix64 stream
 // seeded at construction, advanced once per probabilistic match, so two
@@ -110,27 +114,67 @@ type LinkRule struct {
 	ChannelCap int
 }
 
+// CorruptRule flips payload bytes of matching fabric data transfers,
+// modeling silent data corruption on the wire (bit rot, a flaky PCIe lane,
+// a misbehaving switch). The fabric probes the hook once per transfer
+// attempt — including retransmissions, which re-draw independently — and
+// XORs the returned offsets in the destination buffer after the copy.
+// Without integrity checking (core.Resilience.Integrity) corruption is
+// silent; with it, the CRC32C mismatch triggers a bounded retransmit.
+type CorruptRule struct {
+	// Name labels the rule for Fired-count introspection.
+	Name string
+	// Link, when non-empty, restricts the rule to one route class
+	// ("intra", "inter", "host").
+	Link string
+	// Nodes, when non-nil, restricts the rule to routes touching one of
+	// these nodes (as source or destination).
+	Nodes []int
+	// From/Until bound the rule to a virtual-time window. Zero Until
+	// means no end.
+	From, Until time.Duration
+	// Probability corrupts each eligible transfer with this chance;
+	// 0 means always (deterministic).
+	Probability float64
+	// After skips the first After otherwise-matching transfers.
+	After int
+	// Count bounds how many transfers the rule corrupts; 0 means
+	// unbounded.
+	Count int
+	// FlipBytes is how many distinct byte offsets to flip per corrupted
+	// transfer; 0 means 1.
+	FlipBytes int
+}
+
 type ruleState struct {
 	Rule
 	matched int // eligible calls seen (drives After)
 	fired   int // times the rule actually fired (drives Count)
 }
 
+type corruptState struct {
+	CorruptRule
+	matched int
+	fired   int
+}
+
 // Plan is a seeded, concurrency-safe fault plan. The zero value is not
 // usable; construct with NewPlan.
 type Plan struct {
-	mu    sync.Mutex
-	state uint64
-	rules []*ruleState
-	links []LinkRule
-	dead  map[int]time.Duration // rank -> virtual time of fail-stop
+	mu      sync.Mutex
+	state   uint64
+	rules   []*ruleState
+	links   []LinkRule
+	corrupt []*corruptState
+	dead    map[int]time.Duration // rank -> virtual time of fail-stop
 }
 
 // Compile-time hook conformance.
 var (
-	_ ccl.Injector    = (*Plan)(nil)
-	_ fabric.Degrader = (*Plan)(nil)
-	_ fabric.FailStop = (*Plan)(nil)
+	_ ccl.Injector     = (*Plan)(nil)
+	_ fabric.Degrader  = (*Plan)(nil)
+	_ fabric.FailStop  = (*Plan)(nil)
+	_ fabric.Corrupter = (*Plan)(nil)
 )
 
 // NewPlan returns an empty plan whose probabilistic draws derive from seed.
@@ -223,6 +267,40 @@ func (p *Plan) AddRule(r Rule) *Plan {
 	return p
 }
 
+// CheckCorruptRule validates a payload-corruption rule at construction.
+func CheckCorruptRule(r CorruptRule) error {
+	n := ruleLabel(r.Name)
+	if r.Until != 0 && r.Until <= r.From {
+		return fmt.Errorf("fault: corrupt rule %s has an inverted time window (from %v, until %v): it would never fire", n, r.From, r.Until)
+	}
+	if r.After < 0 {
+		return fmt.Errorf("fault: corrupt rule %s has a negative After budget (%d)", n, r.After)
+	}
+	if r.Count < 0 {
+		return fmt.Errorf("fault: corrupt rule %s has a negative Count budget (%d)", n, r.Count)
+	}
+	if r.Probability < 0 || r.Probability > 1 {
+		return fmt.Errorf("fault: corrupt rule %s has Probability %v outside [0, 1]", n, r.Probability)
+	}
+	if r.FlipBytes < 0 {
+		return fmt.Errorf("fault: corrupt rule %s has a negative FlipBytes (%d)", n, r.FlipBytes)
+	}
+	return nil
+}
+
+// AddCorruptRule appends a payload-corruption rule, panicking with a
+// descriptive error if the rule is invalid (use CheckCorruptRule to
+// validate without panicking). Returns the plan.
+func (p *Plan) AddCorruptRule(r CorruptRule) *Plan {
+	if err := CheckCorruptRule(r); err != nil {
+		panic(err)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.corrupt = append(p.corrupt, &corruptState{CorruptRule: r})
+	return p
+}
+
 // AddLinkRule appends a link-degradation window, panicking with a
 // descriptive error if the window is invalid (use CheckLinkRule to validate
 // without panicking). Returns the plan.
@@ -242,6 +320,11 @@ func (p *Plan) Fired(name string) int {
 	defer p.mu.Unlock()
 	n := 0
 	for _, r := range p.rules {
+		if r.Name == name {
+			n += r.fired
+		}
+	}
+	for _, r := range p.corrupt {
 		if r.Name == name {
 			n += r.fired
 		}
@@ -521,6 +604,74 @@ func (p *Plan) DegradedLink(class string, srcNode, dstNode int, now time.Duratio
 		hit = true
 	}
 	return lf, hit
+}
+
+// CorruptTransfer implements fabric.Corrupter: for an n-byte transfer over
+// the route at now, it returns the distinct destination-buffer offsets to
+// flip, or nil when no rule fires. Every matching rule contributes its own
+// draws; duplicate offsets are resolved by linear probing so two rules (or
+// FlipBytes > 1 within one) never cancel each other's XOR.
+func (p *Plan) CorruptTransfer(class string, srcNode, dstNode int, n int64, now time.Duration) []int64 {
+	if n <= 0 {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var offs []int64
+	for _, r := range p.corrupt {
+		if r.Link != "" && r.Link != class {
+			continue
+		}
+		if !nodeIn(r.Nodes, srcNode, dstNode) || !inWindow(r.From, r.Until, now) {
+			continue
+		}
+		r.matched++
+		if r.matched <= r.After {
+			continue
+		}
+		if r.Count > 0 && r.fired >= r.Count {
+			continue
+		}
+		if r.Probability > 0 && r.Probability < 1 && p.coin() >= r.Probability {
+			continue
+		}
+		r.fired++
+		flips := r.FlipBytes
+		if flips <= 0 {
+			flips = 1
+		}
+		for i := 0; i < flips && int64(len(offs)) < n; i++ {
+			off := int64(p.coin() * float64(n))
+			if off >= n {
+				off = n - 1
+			}
+			for contains(offs, off) {
+				off = (off + 1) % n
+			}
+			offs = append(offs, off)
+		}
+	}
+	return offs
+}
+
+func contains(offs []int64, off int64) bool {
+	for _, o := range offs {
+		if o == off {
+			return true
+		}
+	}
+	return false
+}
+
+// DeathTime reports the virtual time a rank fail-stopped, if it is known
+// dead. Like RankDead it is a pure query that never advances call budgets;
+// the chaos harness uses it to bound detection latency against the actual
+// moment of death.
+func (p *Plan) DeathTime(rank int) (time.Duration, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	t, ok := p.dead[rank]
+	return t, ok
 }
 
 // DegradedNow implements fabric.Degrader: the composition of every window

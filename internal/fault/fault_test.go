@@ -317,3 +317,160 @@ func TestRuleValidation(t *testing.T) {
 	}()
 	NewPlan(1).AddRule(Rule{Name: "bad", Result: ccl.ErrRemote, From: 10, Until: 5})
 }
+
+// Two degradation windows that overlap only partially in time must compose
+// during the overlap and act alone outside it.
+func TestOverlappingDegradationWindows(t *testing.T) {
+	p := NewPlan(1)
+	p.AddLinkRule(LinkRule{Name: "early", Link: "intra",
+		From: 0, Until: 100 * time.Microsecond, BWScale: 0.5})
+	p.AddLinkRule(LinkRule{Name: "late", Link: "intra",
+		From: 50 * time.Microsecond, Until: 150 * time.Microsecond, BWScale: 0.4, AlphaScale: 3})
+
+	lf, ok := p.DegradedLink("intra", 0, 0, 25*time.Microsecond)
+	if !ok || lf.BWScale != 0.5 || lf.AlphaScale != 0 {
+		t.Fatalf("early-only window = %+v (ok %v)", lf, ok)
+	}
+	lf, ok = p.DegradedLink("intra", 0, 0, 75*time.Microsecond)
+	if !ok || lf.BWScale != 0.5*0.4 || lf.AlphaScale != 3 {
+		t.Fatalf("overlap = %+v (ok %v); want scales multiplied", lf, ok)
+	}
+	lf, ok = p.DegradedLink("intra", 0, 0, 125*time.Microsecond)
+	if !ok || lf.BWScale != 0.4 || lf.AlphaScale != 3 {
+		t.Fatalf("late-only window = %+v (ok %v)", lf, ok)
+	}
+	if _, ok = p.DegradedLink("intra", 0, 0, 150*time.Microsecond); ok {
+		t.Error("window fired at its exclusive Until bound")
+	}
+}
+
+// Probability 0 means "always" (deterministic) and probability 1 must also
+// fire every time — the boundaries must not consult the coin in a way that
+// can round them into sometimes-misses.
+func TestProbabilityBoundaries(t *testing.T) {
+	p := NewPlan(7)
+	p.AddRule(Rule{Name: "always0", Op: "send", Result: ccl.ErrRemote, Probability: 0})
+	p.AddRule(Rule{Name: "always1", Op: "recv", Result: ccl.ErrRemote, Probability: 1})
+	for i := 0; i < 50; i++ {
+		if p.OpError("nccl", "send", 0, 0) == nil {
+			t.Fatalf("P=0 (always) rule missed call %d", i)
+		}
+		if p.OpError("nccl", "recv", 0, 0) == nil {
+			t.Fatalf("P=1 rule missed call %d", i)
+		}
+	}
+}
+
+// A call-counted crash rule whose After budget is never reached must leave
+// the rank alive on every query path and report zero fires.
+func TestCrashRuleAfterBudgetNeverReached(t *testing.T) {
+	p := NewPlan(1)
+	p.AddRule(Rule{Name: "die", Crash: true, Ranks: []int{1}, Op: "allreduce", After: 5})
+
+	for i := 0; i < 5; i++ {
+		if p.OpCrash("nccl", "allreduce", 1, 0) {
+			t.Fatalf("rank died on probe %d, inside its After=5 budget", i)
+		}
+	}
+	if p.RankDead(1, time.Hour) {
+		t.Error("rank dead without its budget consumed")
+	}
+	if got := p.DeadRanks(time.Hour); got != nil {
+		t.Errorf("DeadRanks = %v; want none", got)
+	}
+	if _, ok := p.DeathTime(1); ok {
+		t.Error("DeathTime set for a rank that never died")
+	}
+	if p.Fired("die") != 0 {
+		t.Errorf("unreached crash rule fired %d times", p.Fired("die"))
+	}
+}
+
+// Corrupt rules honor class/node/window scope and their After/Count
+// budgets, return in-range distinct offsets, and report through Fired.
+func TestCorruptRuleScopingAndOffsets(t *testing.T) {
+	p := NewPlan(3)
+	p.AddCorruptRule(CorruptRule{Name: "flip", Link: "inter", Nodes: []int{2},
+		After: 1, Count: 2, FlipBytes: 4})
+
+	if offs := p.CorruptTransfer("intra", 2, 2, 64, 0); offs != nil {
+		t.Errorf("wrong link class corrupted: %v", offs)
+	}
+	if offs := p.CorruptTransfer("inter", 0, 1, 64, 0); offs != nil {
+		t.Errorf("wrong nodes corrupted: %v", offs)
+	}
+	if offs := p.CorruptTransfer("inter", 0, 2, 64, 0); offs != nil {
+		t.Errorf("After budget not honored: %v", offs)
+	}
+	for call := 0; call < 2; call++ {
+		offs := p.CorruptTransfer("inter", 2, 0, 64, 0)
+		if len(offs) != 4 {
+			t.Fatalf("call %d: %d offsets, want 4", call, len(offs))
+		}
+		seen := map[int64]bool{}
+		for _, o := range offs {
+			if o < 0 || o >= 64 {
+				t.Fatalf("offset %d out of range [0, 64)", o)
+			}
+			if seen[o] {
+				t.Fatalf("duplicate offset %d (duplicate XORs would cancel)", o)
+			}
+			seen[o] = true
+		}
+	}
+	if offs := p.CorruptTransfer("inter", 2, 0, 64, 0); offs != nil {
+		t.Errorf("Count budget exceeded: %v", offs)
+	}
+	if p.Fired("flip") != 2 {
+		t.Errorf("Fired = %d, want 2", p.Fired("flip"))
+	}
+	// More flips than bytes: every offset of a tiny transfer, no dupes.
+	p2 := NewPlan(3)
+	p2.AddCorruptRule(CorruptRule{Name: "all", FlipBytes: 10})
+	if offs := p2.CorruptTransfer("intra", 0, 0, 3, 0); len(offs) != 3 {
+		t.Errorf("3-byte transfer got %d offsets, want all 3", len(offs))
+	}
+	if offs := p2.CorruptTransfer("intra", 0, 0, 0, 0); offs != nil {
+		t.Errorf("zero-byte transfer corrupted: %v", offs)
+	}
+}
+
+func TestCorruptRuleValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		rule CorruptRule
+		want string
+	}{
+		{"inverted window", CorruptRule{Name: "w", From: 10, Until: 5}, "inverted time window"},
+		{"negative after", CorruptRule{Name: "a", After: -1}, "negative After budget"},
+		{"negative count", CorruptRule{Name: "c", Count: -1}, "negative Count budget"},
+		{"bad probability", CorruptRule{Name: "p", Probability: -0.5}, "outside [0, 1]"},
+		{"negative flips", CorruptRule{Name: "f", FlipBytes: -1}, "negative FlipBytes"},
+	}
+	for _, tc := range cases {
+		err := CheckCorruptRule(tc.rule)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: CheckCorruptRule = %v; want error containing %q", tc.name, err, tc.want)
+		}
+	}
+	if err := CheckCorruptRule(CorruptRule{Name: "ok", Probability: 0.5}); err != nil {
+		t.Errorf("valid corrupt rule rejected: %v", err)
+	}
+}
+
+// DeathTime reports the moment a probe-counted crash fired, for bounding
+// detection latency against the actual death.
+func TestDeathTime(t *testing.T) {
+	p := NewPlan(1)
+	p.AddRule(Rule{Name: "die", Crash: true, Ranks: []int{0}, After: 1})
+	if p.OpCrash("nccl", "allreduce", 0, 5*time.Microsecond) {
+		t.Fatal("died inside budget")
+	}
+	if !p.OpCrash("nccl", "allreduce", 0, 9*time.Microsecond) {
+		t.Fatal("second probe did not kill")
+	}
+	at, ok := p.DeathTime(0)
+	if !ok || at != 9*time.Microsecond {
+		t.Errorf("DeathTime = %v, %v; want 9µs, true", at, ok)
+	}
+}

@@ -21,9 +21,11 @@ scripts/doclinks.sh
 # includes the concurrent-runtime breaker and fail-stop recovery tests plus
 # the persistent-handle property tests (the zero-alloc measurements carry a
 # !race build tag and step aside here — ReadMemStats deltas are meaningless
-# under the detector's instrumented allocator).
-go test -race mpixccl/internal/metrics mpixccl/internal/sim mpixccl/internal/fault mpixccl/internal/core
-go test -race -run 'TestRunAll' mpixccl/internal/experiments
+# under the detector's instrumented allocator). internal/fabric joins for
+# the integrity retransmit loop (corruption probe + CRC verify on shared
+# buffers).
+go test -race mpixccl/internal/metrics mpixccl/internal/sim mpixccl/internal/fault mpixccl/internal/fabric mpixccl/internal/core
+go test -race -run 'TestRunAll|TestChaosShort' mpixccl/internal/experiments
 # dl's recovery path (watchdog + shrink + rollback) and the persistent hot
 # loop are the dl surfaces with cross-layer shared state; the remaining
 # Train* exhibits are single-kernel and wall-clock heavy, so the race pass
@@ -36,4 +38,7 @@ go test -race -run 'TestHier|TestForcedFlat|TestCollectivePools' mpixccl/interna
 # Bench smoke: one fixed iteration proves the benchmark harness still
 # runs end to end (full baselines come from scripts/bench.sh).
 go test -run '^$' -bench '^BenchmarkFig1aAllreduceCrossover$' -benchtime 1x .
+# Chaos smoke: a short seeded soak through the CLI entry point proves the
+# randomized fault schedules still terminate with every invariant held.
+go run ./cmd/xcclbench -chaos seed=7,runs=4 >/dev/null
 echo "check.sh: all clean"
