@@ -7,6 +7,7 @@
 //	xcclbench -exp all -scale full # the paper's full configurations
 //	xcclbench -exp all -parallel 1 # force a serial run
 //	xcclbench -exp fig6 -hier      # hierarchical collectives on the hybrid series
+//	xcclbench -scale ranks=4096,shards=4  # parallel-engine scaling sweep
 //	xcclbench -list                # enumerate experiment ids
 //
 // Experiment ids follow the paper: table1, fig1a, fig1b, fig3, fig4, fig5,
@@ -39,6 +40,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"time"
 
 	"mpixccl/internal/experiments"
@@ -47,7 +49,10 @@ import (
 
 func main() {
 	exp := flag.String("exp", "all", "experiment id (or 'all')")
-	scaleFlag := flag.String("scale", "quick", "quick or full (paper-size node counts and sweeps)")
+	scaleFlag := flag.String("scale", "quick",
+		"quick or full (paper-size node counts and sweeps); or ranks=N[,shards=M] to run the scaling sweep instead of exhibits")
+	shards := flag.Int("shards", 1,
+		"event-engine scheduler shards for exhibit worlds (output is byte-identical at any count)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	parallel := flag.Int("parallel", 0, "max experiments in flight (0 = one per CPU, 1 = serial)")
 	metricsFile := flag.String("metrics", "",
@@ -66,6 +71,7 @@ func main() {
 
 	experiments.SetHierarchical(*hier)
 	experiments.SetPersistent(*persistent)
+	experiments.SetShards(*shards)
 
 	if *crash != "" {
 		var rank, step int
@@ -107,13 +113,20 @@ func main() {
 		}
 		return
 	}
+	if strings.HasPrefix(*scaleFlag, "ranks=") {
+		if err := runScaleSweep(*scaleFlag); err != nil {
+			fmt.Fprintf(os.Stderr, "xcclbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	scale := experiments.Quick
 	switch *scaleFlag {
 	case "quick":
 	case "full":
 		scale = experiments.Full
 	default:
-		fmt.Fprintf(os.Stderr, "xcclbench: unknown scale %q (want quick or full)\n", *scaleFlag)
+		fmt.Fprintf(os.Stderr, "xcclbench: unknown scale %q (want quick, full, or ranks=N[,shards=M])\n", *scaleFlag)
 		os.Exit(2)
 	}
 	if *cpuProfile != "" {
@@ -170,6 +183,35 @@ func main() {
 		}
 		os.Exit(1)
 	}
+}
+
+// runScaleSweep handles -scale ranks=N[,shards=M]: the 4096-rank-class
+// hierarchical AllReduce scaling model, run once per shard count (powers of
+// two up to M, plus M itself) and printed as one wall/virt table. Virtual
+// times must be identical down the column; wall time is where shards pay
+// off on multi-core hosts.
+func runScaleSweep(spec string) error {
+	ranks, maxShards := 0, 1
+	if n, err := fmt.Sscanf(spec, "ranks=%d,shards=%d", &ranks, &maxShards); err != nil && n < 1 {
+		return fmt.Errorf("bad -scale %q (want ranks=N[,shards=M])", spec)
+	}
+	var counts []int
+	for s := 1; s <= maxShards; s *= 2 {
+		counts = append(counts, s)
+	}
+	if last := counts[len(counts)-1]; last != maxShards {
+		counts = append(counts, maxShards)
+	}
+	var results []experiments.ScaleResult
+	for _, s := range counts {
+		r, err := experiments.RunScale(experiments.ScaleConfig{Ranks: ranks, Shards: s})
+		if err != nil {
+			return err
+		}
+		results = append(results, r)
+	}
+	fmt.Print(experiments.FormatScaleTable(results))
+	return nil
 }
 
 func writeMetrics(reg *metrics.Registry, path string) error {

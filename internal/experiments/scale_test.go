@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"mpixccl/internal/fault"
+)
+
+// stripWall zeroes the fields that legitimately differ between a serial and
+// a sharded run of the same model — host wall time and the shard count
+// itself — so everything else can compare exactly.
+func stripWall(r ScaleResult) ScaleResult {
+	r.Wall = 0
+	r.Shards = 0
+	return r
+}
+
+func TestScaleDeterministicAcrossShards(t *testing.T) {
+	base, err := RunScale(ScaleConfig{Ranks: 128, Bytes: 256 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !base.OK || base.VirtTime == 0 {
+		t.Fatalf("serial run: %+v", base)
+	}
+	for _, shards := range []int{2, 4, 8} {
+		r, err := RunScale(ScaleConfig{Ranks: 128, Bytes: 256 << 10, Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := stripWall(r), stripWall(base); !reflect.DeepEqual(got, want) {
+			t.Errorf("shards=%d: %+v\nserial: %+v", shards, got, want)
+		}
+	}
+}
+
+func TestScaleAcrossSystems(t *testing.T) {
+	// Every preset (including non-power-of-two devices per node) must pass
+	// the digest check at multiple shard counts.
+	for _, sys := range []string{"thetagpu", "mri", "voyager", "aurora"} {
+		dpn := map[string]int{"thetagpu": 8, "mri": 2, "voyager": 8, "aurora": 6}[sys]
+		ranks := 16 * dpn
+		base, err := RunScale(ScaleConfig{System: sys, Ranks: ranks, Bytes: 64 << 10})
+		if err != nil {
+			t.Fatalf("%s: %v", sys, err)
+		}
+		if !base.OK {
+			t.Fatalf("%s: digest check failed: %+v", sys, base)
+		}
+		sharded, err := RunScale(ScaleConfig{System: sys, Ranks: ranks, Bytes: 64 << 10, Shards: 4})
+		if err != nil {
+			t.Fatalf("%s: %v", sys, err)
+		}
+		if got, want := stripWall(sharded), stripWall(base); !reflect.DeepEqual(got, want) {
+			t.Errorf("%s shards=4: %+v\nserial: %+v", sys, got, want)
+		}
+	}
+}
+
+// TestScaleFaultDeterminism is the cross-shard fault-injection contract:
+// crash, brownout, and corrupt rules firing on cross-shard links must
+// produce identical verdicts and counters at 1 and 4 shards. Rules are pure
+// time-window rules (no probabilities, no call budgets on cross-links), the
+// class the parallel engine guarantees order-independence for.
+func TestScaleFaultDeterminism(t *testing.T) {
+	const us = time.Microsecond
+	cases := []struct {
+		name   string
+		faults func(shard int) *fault.Plan
+		check  func(t *testing.T, r ScaleResult)
+	}{
+		{
+			name: "crash",
+			faults: func(shard int) *fault.Plan {
+				return fault.NewPlan(42).AddRule(fault.Rule{
+					Name: "leader5-dies", Ranks: []int{5}, From: 50 * us, Crash: true,
+				})
+			},
+			check: func(t *testing.T, r ScaleResult) {
+				if len(r.Crashed) != 1 || r.Crashed[0] != 5 {
+					t.Errorf("crashed = %v, want [5]", r.Crashed)
+				}
+				if r.Timeouts == 0 || r.OK {
+					t.Errorf("want detection timeouts and a failed check, got %+v", r)
+				}
+			},
+		},
+		{
+			name: "brownout",
+			faults: func(shard int) *fault.Plan {
+				return fault.NewPlan(42).AddLinkRule(fault.LinkRule{
+					Name: "inter-brownout", Link: "inter",
+					From: 30 * us, Until: 70 * us,
+					BWScale: 0.25, AlphaScale: 3,
+				})
+			},
+			check: func(t *testing.T, r ScaleResult) {
+				if r.Degraded == 0 {
+					t.Error("brownout window never hit a ring send")
+				}
+				if !r.OK {
+					t.Errorf("brownout must not corrupt results: %+v", r)
+				}
+			},
+		},
+		{
+			name: "corrupt",
+			faults: func(shard int) *fault.Plan {
+				return fault.NewPlan(42).AddCorruptRule(fault.CorruptRule{
+					Name: "node7-flaky-nic", Link: "inter", Nodes: []int{7},
+					From: 40 * us, Until: 55 * us,
+				})
+			},
+			check: func(t *testing.T, r ScaleResult) {
+				if r.CorruptionsDetected == 0 || r.Retransmits == 0 {
+					t.Errorf("corrupt window never fired: %+v", r)
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := ScaleConfig{Ranks: 128, Bytes: 256 << 10, Faults: tc.faults}
+			serial, err := RunScale(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.Shards = 4
+			sharded, err := RunScale(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := stripWall(sharded), stripWall(serial); !reflect.DeepEqual(got, want) {
+				t.Errorf("shards=4: %+v\nserial: %+v", got, want)
+			}
+			tc.check(t, serial)
+		})
+	}
+}
+
+func TestScaleRejectsUnevenRanks(t *testing.T) {
+	if _, err := RunScale(ScaleConfig{Ranks: 100}); err == nil {
+		t.Fatal("100 ranks on 8-device nodes should be rejected")
+	}
+}
+
+func TestFormatScaleTable(t *testing.T) {
+	r, err := RunScale(ScaleConfig{Ranks: 64, Bytes: 64 << 10, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FormatScaleTable([]ScaleResult{r})
+	for _, want := range []string{"ranks", "shards", "64KiB", "ok"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}

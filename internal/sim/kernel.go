@@ -33,8 +33,6 @@ package sim
 
 import (
 	"fmt"
-	"sort"
-	"strings"
 	"time"
 )
 
@@ -133,6 +131,18 @@ type Kernel struct {
 	alive   int
 	running bool
 	stopped bool
+
+	// Window-bounded dispatch (see shard.go): when bounded is set, dispatch
+	// stops before popping any event at or after horizon, leaving the queue
+	// and all parked processes intact for the next window.
+	bounded bool
+	horizon Time
+
+	// Shard identity: a kernel created by (or adopted into) a Sharded engine
+	// knows its shard index and owner so Run can delegate to the engine's
+	// window loop.
+	shard int
+	owner *Sharded
 }
 
 // NewKernel returns a kernel with an empty event queue and the clock at zero.
@@ -232,6 +242,9 @@ func (k *Kernel) SpawnDaemon(name string, fn func(*Proc)) *Proc {
 // A true return tells a parking process to wait for its own resume signal.
 func (k *Kernel) dispatch(self *Proc) bool {
 	for !k.stopped && len(k.queue) > 0 {
+		if k.bounded && k.queue[0].at >= k.horizon {
+			break // window exhausted: leave future events for the next window
+		}
 		ev := k.queue.pop()
 		k.now = ev.at
 		if p := ev.proc; p != nil {
@@ -260,20 +273,20 @@ func (k *Kernel) dispatch(self *Proc) bool {
 // deadlock when stopped deliberately.
 func (k *Kernel) Stop() { k.stopped = true }
 
-// DeadlockError reports that the event queue drained while processes were
-// still blocked — the virtual-time analogue of a hung program.
-type DeadlockError struct {
-	Now     Time
-	Blocked []string
-}
-
-func (e *DeadlockError) Error() string {
-	return fmt.Sprintf("sim: deadlock at t=%v; blocked: %s", e.Now, strings.Join(e.Blocked, ", "))
-}
-
 // Run executes events until the queue drains or Stop is called. It returns a
 // *DeadlockError if processes remain blocked with no pending events.
+//
+// A kernel adopted into a Sharded engine delegates to the engine's window
+// loop, so existing call sites (omb, dl, mpi job runners) work unchanged
+// whether the world is serial or sharded.
 func (k *Kernel) Run() error {
+	if k.owner != nil {
+		return k.owner.Run()
+	}
+	return k.runSerial()
+}
+
+func (k *Kernel) runSerial() error {
 	if k.running {
 		return fmt.Errorf("sim: kernel already running")
 	}
@@ -287,18 +300,35 @@ func (k *Kernel) Run() error {
 		return nil
 	}
 	if k.alive > 0 {
-		var blocked []string
-		for _, p := range k.procs {
-			if p.daemon {
-				continue
-			}
-			blocked = append(blocked, fmt.Sprintf("%s(%s)", p.name, p.blocked))
-		}
-		sort.Strings(blocked)
-		return &DeadlockError{Now: k.now, Blocked: blocked}
+		return &DeadlockError{Now: k.now, Blocked: k.blockedNames()}
 	}
 	return nil
 }
+
+// runWindow executes events strictly before horizon on the calling goroutine
+// and returns with the queue and parked processes intact. It is the per-shard
+// body of one conservative synchronization window (see shard.go).
+func (k *Kernel) runWindow(horizon Time) {
+	k.running = true
+	k.bounded, k.horizon = true, horizon
+	if k.dispatch(nil) {
+		<-k.idle
+	}
+	k.bounded = false
+	k.running = false
+}
+
+// nextAt reports the fire time of the earliest pending event, if any.
+func (k *Kernel) nextAt() (Time, bool) {
+	if len(k.queue) == 0 {
+		return 0, false
+	}
+	return k.queue[0].at, true
+}
+
+// Shard reports the kernel's shard index within its owning Sharded engine
+// (0 for a standalone kernel).
+func (k *Kernel) Shard() int { return k.shard }
 
 // RunFor executes events until virtual time advances past the given horizon,
 // then stops. Events at exactly now+d still run.

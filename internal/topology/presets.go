@@ -57,34 +57,22 @@ var (
 // 8 GPUs each (Table 1, column 1). ThetaGPU has 24 such nodes; tests and
 // benchmarks usually build fewer.
 func ThetaGPU(k *sim.Kernel, nodes int) *System {
-	return Build(k, Config{
-		Name: "ThetaGPU", CPU: "AMD EPYC 7742", Memory: "1TB DDR4",
-		NumNodes: nodes, DevicesPerNode: 8,
-		DeviceSpec: device.SpecA100,
-		Intra:      NVLink3, Inter: IBHDRTheta, HostLink: PCIeHost,
-	})
+	cfg, _ := PresetConfig("thetagpu", nodes)
+	return Build(k, cfg)
 }
 
 // MRI builds the in-house AMD cluster preset: 2 MI100 GPUs per node
 // (Table 1, column 2).
 func MRI(k *sim.Kernel, nodes int) *System {
-	return Build(k, Config{
-		Name: "MRI", CPU: "AMD EPYC 7713", Memory: "256GB DDR4",
-		NumNodes: nodes, DevicesPerNode: 2,
-		DeviceSpec: device.SpecMI100,
-		Intra:      PCIe4MRI, Inter: IBHDRMRI, HostLink: PCIeHost,
-	})
+	cfg, _ := PresetConfig("mri", nodes)
+	return Build(k, cfg)
 }
 
 // Voyager builds the SDSC Voyager preset: 8 Habana Gaudi HPUs per node
 // (Table 1, column 3).
 func Voyager(k *sim.Kernel, nodes int) *System {
-	return Build(k, Config{
-		Name: "Voyager", CPU: "Intel Xeon Gold 6336Y", Memory: "512GB DDR4",
-		NumNodes: nodes, DevicesPerNode: 8,
-		DeviceSpec: device.SpecGaudi,
-		Intra:      RoCEGaudi, Inter: Arista400G, HostLink: PCIeHost,
-	})
+	cfg, _ := PresetConfig("voyager", nodes)
+	return Build(k, cfg)
 }
 
 // Aurora builds an Aurora-class Intel preset: 6 PVC GPUs per node over
@@ -92,29 +80,56 @@ func Voyager(k *sim.Kernel, nodes int) *System {
 // Table 1 — it exercises the oneCCL extension the paper names as future
 // work (§6).
 func Aurora(k *sim.Kernel, nodes int) *System {
-	return Build(k, Config{
-		Name: "Aurora", CPU: "Intel Xeon Max 9470", Memory: "512GB DDR5",
-		NumNodes: nodes, DevicesPerNode: 6,
-		DeviceSpec: device.SpecPVC,
-		Intra:      XeLink, Inter: Slingshot11, HostLink: PCIeHost,
-	})
+	cfg, _ := PresetConfig("aurora", nodes)
+	return Build(k, cfg)
+}
+
+// PresetConfig returns the build configuration for a named system without
+// instantiating it. Callers that partition a cluster across simulation
+// shards build one sub-system per shard from the same config.
+func PresetConfig(name string, nodes int) (Config, error) {
+	switch name {
+	case "thetagpu":
+		return Config{
+			Name: "ThetaGPU", CPU: "AMD EPYC 7742", Memory: "1TB DDR4",
+			NumNodes: nodes, DevicesPerNode: 8,
+			DeviceSpec: device.SpecA100,
+			Intra:      NVLink3, Inter: IBHDRTheta, HostLink: PCIeHost,
+		}, nil
+	case "mri":
+		return Config{
+			Name: "MRI", CPU: "AMD EPYC 7713", Memory: "256GB DDR4",
+			NumNodes: nodes, DevicesPerNode: 2,
+			DeviceSpec: device.SpecMI100,
+			Intra:      PCIe4MRI, Inter: IBHDRMRI, HostLink: PCIeHost,
+		}, nil
+	case "voyager":
+		return Config{
+			Name: "Voyager", CPU: "Intel Xeon Gold 6336Y", Memory: "512GB DDR4",
+			NumNodes: nodes, DevicesPerNode: 8,
+			DeviceSpec: device.SpecGaudi,
+			Intra:      RoCEGaudi, Inter: Arista400G, HostLink: PCIeHost,
+		}, nil
+	case "aurora":
+		return Config{
+			Name: "Aurora", CPU: "Intel Xeon Max 9470", Memory: "512GB DDR5",
+			NumNodes: nodes, DevicesPerNode: 6,
+			DeviceSpec: device.SpecPVC,
+			Intra:      XeLink, Inter: Slingshot11, HostLink: PCIeHost,
+		}, nil
+	default:
+		return Config{}, fmt.Errorf("topology: unknown system %q (want thetagpu, mri, voyager, or aurora)", name)
+	}
 }
 
 // Preset builds a named system; valid names are "thetagpu", "mri",
 // "voyager", and "aurora".
 func Preset(k *sim.Kernel, name string, nodes int) (*System, error) {
-	switch name {
-	case "thetagpu":
-		return ThetaGPU(k, nodes), nil
-	case "mri":
-		return MRI(k, nodes), nil
-	case "voyager":
-		return Voyager(k, nodes), nil
-	case "aurora":
-		return Aurora(k, nodes), nil
-	default:
-		return nil, fmt.Errorf("topology: unknown system %q (want thetagpu, mri, voyager, or aurora)", name)
+	cfg, err := PresetConfig(name, nodes)
+	if err != nil {
+		return nil, err
 	}
+	return Build(k, cfg), nil
 }
 
 // Table1Row summarizes a system for the Table 1 regeneration.

@@ -5,7 +5,7 @@
 # baseline (BENCH_pr5.json) instead of eyeballing `go test -bench` output.
 #
 # Usage: scripts/bench.sh [out.json] [bench-regex] [benchtime]
-#   out.json     output file (default BENCH_pr6.json in the repo root)
+#   out.json     output file (default BENCH_pr8.json in the repo root)
 #   bench-regex  -bench selector (default '.')
 #   benchtime    -benchtime value (default 4x: fixed iteration count keeps
 #                run time bounded and exhibits comparable)
@@ -22,14 +22,24 @@
 # tolerance when the machine is known to differ from the baseline's:
 #
 #   XCCL_BENCH_TOLERANCE=10 scripts/bench.sh
+#
+# Sharded-engine gate: the Scale4096AllReduce benchmarks measure the
+# partitioned event engine's wall-clock speedup. On hosts with 4+ CPUs the
+# Shards4 variant must run >= XCCL_BENCH_SPEEDUP x faster (default 2.5)
+# than Shards1; on smaller hosts the gate is skipped loudly (the shards
+# serialize onto the same core and no speedup is physically possible). The
+# host's CPU count is recorded in the JSON as "cpus" so a baseline's
+# speedup numbers can be read in context.
 set -eu
 
 cd "$(dirname "$0")/.."
-out=${1:-BENCH_pr6.json}
+out=${1:-BENCH_pr8.json}
 bench=${2:-.}
 benchtime=${3:-4x}
-baseline=${XCCL_BENCH_BASELINE:-BENCH_pr5.json}
+baseline=${XCCL_BENCH_BASELINE:-BENCH_pr6.json}
 tolerance=${XCCL_BENCH_TOLERANCE:-2}
+speedup_want=${XCCL_BENCH_SPEEDUP:-2.5}
+cpus=$(nproc 2>/dev/null || echo 1)
 
 # ns_op of one benchmark entry in a baseline JSON ('' if absent).
 ns_op() {
@@ -42,11 +52,21 @@ base_fig7=$(ns_op "$baseline" Fig7HorovodNvidia)
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
-go test -run '^$' -bench "$bench" -benchtime "$benchtime" -benchmem . | tee "$raw"
+# No pipe: POSIX sh has no pipefail, and a benchmark crash (or go test's
+# own timeout) must fail the script rather than persist a partial
+# baseline. The suite at 4x runs well past go test's default 10m on
+# small hosts, so the deadline is explicit.
+go test -run '^$' -bench "$bench" -benchtime "$benchtime" -benchmem \
+	-timeout "${XCCL_BENCH_TIMEOUT:-30m}" . >"$raw" 2>&1 || {
+	cat "$raw"
+	echo "bench.sh: benchmark run failed; baseline not written" >&2
+	exit 1
+}
+cat "$raw"
 
-awk -v benchtime="$benchtime" '
+awk -v benchtime="$benchtime" -v cpus="$cpus" '
 BEGIN {
-    printf "{\n  \"benchtime\": \"%s\",\n  \"benchmarks\": [", benchtime
+    printf "{\n  \"benchtime\": \"%s\",\n  \"cpus\": %s,\n  \"benchmarks\": [", benchtime, cpus
     n = 0
 }
 /^Benchmark/ {
@@ -85,4 +105,23 @@ check_ns Fig7HorovodNvidia "$base_fig7" "$(ns_op "$out" Fig7HorovodNvidia)" || g
 if [ "$gate" != 0 ]; then
 	echo "bench.sh: wall-clock regression beyond ${tolerance}% (set XCCL_BENCH_TOLERANCE to override)" >&2
 	exit 1
+fi
+
+# Sharded-engine speedup gate (see header). Gated on the selector having
+# actually run the scale pair, and on the host having the cores to show it.
+scale1=$(ns_op "$out" Scale4096AllReduceShards1)
+scale4=$(ns_op "$out" Scale4096AllReduceShards4)
+if [ -n "$scale1" ] && [ -n "$scale4" ]; then
+	if [ "$cpus" -ge 4 ]; then
+		awk -v s1="$scale1" -v s4="$scale4" -v want="$speedup_want" 'BEGIN {
+			r = s1 / s4
+			printf "bench.sh: Scale4096AllReduce shards=4 speedup %.2fx (want >= %sx)\n", r, want
+			exit r >= want ? 0 : 1
+		}' || {
+			echo "bench.sh: sharded engine speedup below ${speedup_want}x (set XCCL_BENCH_SPEEDUP to override)" >&2
+			exit 1
+		}
+	else
+		echo "bench.sh: SKIPPING sharded-engine speedup gate: host has $cpus CPU(s), need >= 4 for parallel shards to beat serial"
+	fi
 fi

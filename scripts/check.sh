@@ -24,8 +24,12 @@ scripts/doclinks.sh
 # under the detector's instrumented allocator). internal/fabric joins for
 # the integrity retransmit loop (corruption probe + CRC verify on shared
 # buffers).
+# internal/sim's suite includes the sharded-engine tests (shard_test.go),
+# whose windows genuinely run shards on separate OS threads — the race
+# detector is the proof that cross-shard traffic only moves through the
+# outbox/flush protocol.
 go test -race mpixccl/internal/metrics mpixccl/internal/sim mpixccl/internal/fault mpixccl/internal/fabric mpixccl/internal/core
-go test -race -run 'TestRunAll|TestChaosShort' mpixccl/internal/experiments
+go test -race -run 'TestRunAll|TestChaosShort|TestScale' mpixccl/internal/experiments
 # dl's recovery path (watchdog + shrink + rollback) and the persistent hot
 # loop are the dl surfaces with cross-layer shared state; the remaining
 # Train* exhibits are single-kernel and wall-clock heavy, so the race pass
@@ -41,4 +45,16 @@ go test -run '^$' -bench '^BenchmarkFig1aAllreduceCrossover$' -benchtime 1x .
 # Chaos smoke: a short seeded soak through the CLI entry point proves the
 # randomized fault schedules still terminate with every invariant held.
 go run ./cmd/xcclbench -chaos seed=7,runs=4 >/dev/null
+# Sharded-engine smoke: regenerating an exhibit through the CLI at
+# -shards 4 must be byte-identical to the serial run (wall-time footer
+# lines excluded; the full proof across world constructors is
+# TestGoldenShardInvariance). Plus one scaling-sweep row to keep the
+# -scale ranks= entry point alive.
+serial=$(go run ./cmd/xcclbench -exp fig1a | grep -v 'wall time')
+sharded=$(go run ./cmd/xcclbench -exp fig1a -shards 4 | grep -v 'wall time')
+if [ "$serial" != "$sharded" ]; then
+	echo "check.sh: xcclbench -shards 4 output diverged from serial" >&2
+	exit 1
+fi
+go run ./cmd/xcclbench -scale ranks=256,shards=2 >/dev/null
 echo "check.sh: all clean"
