@@ -12,12 +12,21 @@
 // and the collective watchdog (-watchdog, default 2ms) converts the peers'
 // stuck operation into a bounded-time ErrRankDead verdict — demonstrating
 // that a dead rank no longer deadlocks the kernel.
+//
+// With -partition rank@from[,until], a rank-scoped network cut severs that
+// rank's CCL data plane from every peer at virtual time <from> (optionally
+// healing at <until>); the MPI out-of-band control plane survives, so the
+// sweep keeps running while every cross-cut collective fails fast with an
+// ErrUnreachable verdict instead of hanging:
+//
+//	ombrun -bench allreduce -nodes 2 -partition 2@200us
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"mpixccl/internal/core"
@@ -44,6 +53,8 @@ func main() {
 		"write runtime metrics to this file in Prometheus text format ('-' for stdout)")
 	crash := flag.String("crash", "",
 		"fail-stop a rank as rank@call (dies after N CCL calls); CCL-backed stacks only")
+	partition := flag.String("partition", "",
+		"sever a rank's CCL data plane as rank@from[,until] virtual times (e.g. 2@200us or 2@200us,400us); CCL-backed stacks only")
 	watchdog := flag.Duration("watchdog", 2*time.Millisecond,
 		"collective watchdog deadline used when -crash is set (bounds dead-peer detection)")
 	persistent := flag.Bool("persistent", false,
@@ -69,6 +80,20 @@ func main() {
 		plan = fault.NewPlan(1).AddRule(fault.Rule{
 			Name: "fail-stop", Crash: true, Ranks: []int{rank}, After: call,
 		})
+	}
+	var cut fault.PartitionRule
+	if *partition != "" {
+		rule, err := parsePartition(*partition)
+		if err != nil {
+			fatal(err)
+		}
+		cut = rule
+		if plan == nil {
+			plan = fault.NewPlan(1)
+		}
+		plan.AddPartitionRule(cut)
+	}
+	if plan != nil {
 		cfg.Faults = plan
 		pol := core.DefaultResilience()
 		pol.WatchdogTimeout = *watchdog
@@ -107,11 +132,20 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown bench %q", *bench))
 	}
-	if plan != nil {
+	if *crash != "" {
 		fmt.Printf("# crash injected (fired %d): the victim's calls fail fast; each survivor\n",
 			plan.Fired("fail-stop"))
 		fmt.Printf("# collective resolves at the %v watchdog instead of deadlocking, so\n", *watchdog)
 		fmt.Printf("# post-crash sizes report the detection deadline, not real latency\n")
+	}
+	if *partition != "" {
+		fmt.Printf("# partition injected: rank %d's CCL data plane severed from %v", cut.Ranks[0], cut.From)
+		if cut.Until > 0 {
+			fmt.Printf(" until %v", cut.Until)
+		}
+		fmt.Printf("\n# on; cross-cut collectives fail fast with an ErrUnreachable verdict\n")
+		fmt.Printf("# (no hang, no watchdog wait), so in-window sizes report the fast-fail\n")
+		fmt.Printf("# dispatch time, not real latency; the MPI control plane stays up\n")
 	}
 	if reg != nil {
 		if err := writeMetrics(reg, *metricsFile); err != nil {
@@ -133,6 +167,37 @@ func writeMetrics(reg *metrics.Registry, path string) error {
 		return err
 	}
 	return f.Close()
+}
+
+// parsePartition parses -partition rank@from[,until] into a rank-scoped
+// PartitionRule (Probability 0 = deterministic fire).
+func parsePartition(spec string) (fault.PartitionRule, error) {
+	bad := func() (fault.PartitionRule, error) {
+		return fault.PartitionRule{}, fmt.Errorf("bad -partition %q (want rank@from[,until], e.g. 2@200us or 2@200us,400us)", spec)
+	}
+	rankStr, window, ok := strings.Cut(spec, "@")
+	if !ok {
+		return bad()
+	}
+	var rank int
+	if _, err := fmt.Sscanf(rankStr, "%d", &rank); err != nil {
+		return bad()
+	}
+	fromStr, untilStr, healed := strings.Cut(window, ",")
+	from, err := time.ParseDuration(fromStr)
+	if err != nil {
+		return bad()
+	}
+	rule := fault.PartitionRule{Name: "rank-cut", Ranks: []int{rank}, From: from}
+	if healed {
+		if rule.Until, err = time.ParseDuration(untilStr); err != nil {
+			return bad()
+		}
+	}
+	if err := fault.CheckPartitionRule(rule); err != nil {
+		return fault.PartitionRule{}, fmt.Errorf("-partition %q: %v", spec, err)
+	}
+	return rule, nil
 }
 
 func us(r omb.Result) float64 { return float64(r.Latency.Nanoseconds()) / 1e3 }

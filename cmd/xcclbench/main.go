@@ -32,6 +32,12 @@
 // during that training step instead of its default injection:
 //
 //	xcclbench -exp elastic -crash 3@2
+//
+// With -partition cut@heal, the "partition" exhibit opens its network cut
+// during training step <cut> and heals it before step <heal> (heal 0 makes
+// the cut permanent):
+//
+//	xcclbench -exp partition -partition 2@4
 package main
 
 import (
@@ -67,6 +73,10 @@ func main() {
 		"run the hybrid-xCCL series of the Horovod exhibits (fig7-fig10) on persistent partitioned allreduce handles")
 	chaos := flag.String("chaos", "",
 		"run the chaos soak instead of exhibits, as seed=N[,runs=M] (e.g. seed=7,runs=4)")
+	chaosDeadline := flag.Duration("chaos-deadline", 0,
+		"wall-clock budget per chaos schedule before the soak fails loudly (0 = default 2m)")
+	partition := flag.String("partition", "",
+		"override the partition exhibit's cut window as cut@heal training steps (heal 0 = permanent, e.g. 2@4)")
 	flag.Parse()
 
 	experiments.SetHierarchical(*hier)
@@ -81,6 +91,15 @@ func main() {
 		}
 		experiments.SetElasticCrash(rank, step)
 	}
+	if *partition != "" {
+		var cut, heal int
+		if n, err := fmt.Sscanf(*partition, "%d@%d", &cut, &heal); err != nil && n < 1 {
+			fmt.Fprintf(os.Stderr, "xcclbench: bad -partition %q (want cut@heal steps, e.g. 2@4)\n", *partition)
+			os.Exit(2)
+		}
+		experiments.SetPartition(cut, heal)
+	}
+	experiments.SetChaosDeadline(*chaosDeadline)
 
 	if *list {
 		for _, id := range experiments.IDs() {

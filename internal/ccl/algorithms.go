@@ -74,6 +74,12 @@ func (c *Comm) enqueueColl(s *device.Stream, name string, a *opArgs, bytes int64
 			st.start.Wait(p)
 		}
 		run(rc, st.args[rank])
+		if st.abortErr != nil {
+			// A transfer crossed an active network cut mid-schedule. The
+			// verdict is shared: every participant's result is void, even
+			// ranks whose own hops stayed on one side of the cut.
+			c.raiseAsync(st.abortErr)
+		}
 		co.finish(st)
 	})
 }

@@ -141,6 +141,14 @@ const (
 	// so the dispatch layer surfaces it for ULFM-style revoke/shrink
 	// instead (internal/core).
 	ErrRankDead
+	// ErrUnreachable reports a live peer on the far side of an active
+	// network partition: the rank named in Error.Rank (or the whole far
+	// side, when Rank is -1) is healthy but no route reaches it. Not
+	// transient within the cut — retrying burns the watchdog budget and
+	// the MPI fallback would hang — so the dispatch layer surfaces it to
+	// the quorum membership machinery (internal/core), which shrinks on
+	// the majority side and fences the minority.
+	ErrUnreachable
 )
 
 // String names the result code.
@@ -162,6 +170,8 @@ func (r Result) String() string {
 		return "xcclRemoteError"
 	case ErrRankDead:
 		return "xcclRankDead"
+	case ErrUnreachable:
+		return "xcclUnreachable"
 	}
 	return fmt.Sprintf("Result(%d)", int(r))
 }

@@ -1,6 +1,7 @@
 package ccl
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -374,6 +375,12 @@ type opState struct {
 	// run this sequence. Ranks arriving later fail fast with the same
 	// verdict instead of waiting out their own deadline.
 	aborted bool
+	// abortErr is the shared mid-schedule verdict (first writer wins): a
+	// transfer hit an active network cut after the start rendezvous, so
+	// the whole sequence is void — including on ranks whose own hops
+	// stayed on one side and "succeeded" with partial data. Each rank
+	// raises it as its async verdict when its schedule task finishes.
+	abortErr error
 }
 
 type opArgs struct {
@@ -479,10 +486,24 @@ func (co *core) fabOpts() fabric.Opts {
 }
 
 // xfer moves bytes between devices applying the backend's inter-node
-// penalty on cross-node hops.
+// penalty on cross-node hops. A hop severed by a network partition aborts
+// the sequence: the copy is skipped, the shared verdict is recorded, and
+// the schedule keeps draining — same-side hops still complete and the pipe
+// signaling below still fires, so every rank finishes in bounded virtual
+// time instead of stranding peers mid-collective.
 func (rc *runCtx) xfer(dst, src *device.Buffer, n int64) {
 	rc.co.countXfer(n)
-	d := rc.co.fab.Transfer(rc.p, dst, src, n, rc.opts())
+	d, err := rc.co.fab.TryTransfer(rc.p, dst, src, n, rc.opts())
+	if err != nil {
+		if !errors.Is(err, fabric.ErrPartitioned) {
+			panic(err)
+		}
+		rc.st.aborted = true
+		if rc.st.abortErr == nil {
+			rc.st.abortErr = rc.co.severedVerdict(rc.p.Now())
+		}
+		return
+	}
 	pen := rc.co.cfg.InterNodePenalty
 	if pen > 1 && src.Device() != nil && dst.Device() != nil && src.Device().Node != dst.Device().Node {
 		rc.p.Sleep(time.Duration(float64(d) * (pen - 1)))
@@ -590,6 +611,15 @@ func (co *core) deadVerdict(op string, now time.Duration) *Error {
 	}
 	return &Error{Backend: co.cfg.Name, Result: ErrRankDead, Op: op, Rank: -1,
 		Msg: fmt.Sprintf("watchdog fired after %v; failed peer unknown", co.watchdog)}
+}
+
+// severedVerdict builds the ErrUnreachable verdict for a schedule whose
+// transfer crossed an active network cut. The fabric routes by node, so the
+// specific far-side rank is unknown here (Rank -1); the membership layer
+// re-derives the severed peers from the partition oracle.
+func (co *core) severedVerdict(now time.Duration) *Error {
+	return &Error{Backend: co.cfg.Name, Result: ErrUnreachable, Rank: -1,
+		Msg: fmt.Sprintf("transfer severed by network partition at %v", now)}
 }
 
 // delay charges any injected straggler latency for this rank's part of op.

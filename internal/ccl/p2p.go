@@ -1,9 +1,11 @@
 package ccl
 
 import (
+	"errors"
 	"fmt"
 
 	"mpixccl/internal/device"
+	"mpixccl/internal/fabric"
 	"mpixccl/internal/sim"
 )
 
@@ -57,9 +59,18 @@ func (co *core) runSend(p *sim.Proc, rank int, op p2pOp) error {
 		panic(fmt.Sprintf("ccl: send of %d bytes into %d-byte posted recv", op.bytes, slot.bytes))
 	}
 	co.countXfer(op.bytes)
-	d := co.fab.Transfer(p, slot.buf.Slice(0, op.bytes), op.buf.Slice(0, op.bytes), op.bytes,
+	_, err := co.fab.TryTransfer(p, slot.buf.Slice(0, op.bytes), op.buf.Slice(0, op.bytes), op.bytes,
 		co.fabOpts())
-	_ = d
+	if err != nil {
+		if !errors.Is(err, fabric.ErrPartitioned) {
+			panic(err)
+		}
+		// The route is severed: fire the peer's completion anyway so the
+		// posted receive resolves in bounded time, and report the verdict —
+		// the caller raises it as this rank's async error.
+		slot.done.Fire()
+		return co.severedVerdict(p.Now())
+	}
 	slot.done.Fire()
 	return nil
 }

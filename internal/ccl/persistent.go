@@ -391,6 +391,13 @@ func (c *Comm) AllReduceInitPartitioned(send, recv *device.Buffer, count int, dt
 			rcMain.waitAllParts()
 			rcMain.ringAllReduce(dt, op, count)
 		}
+		if st.abortErr != nil {
+			// A wave transfer crossed a network cut: the shared verdict
+			// voids every rank's result for this wave (and the handle —
+			// the persistent op state is permanent, so the owner rebuilds
+			// after the membership layer shrinks or regrows).
+			c.raiseAsync(st.abortErr)
+		}
 	})
 	return pc, nil
 }

@@ -22,6 +22,14 @@ import (
 // aggregation.
 func (x *Comm) run(op OpKind, bytes int64, d decision,
 	cclPath func(cc *ccl.Comm, s *device.Stream) error, mpiPath func()) {
+	// A fenced rank (minority side of a partition) no-ops before anything
+	// else: it lost the quorum vote and must Rejoin, not dispatch.
+	if _, bad := x.rt.fenced[x.mpi.WorldRank()]; bad {
+		if x.failure == nil {
+			x.failure = ErrFenced
+		}
+		return
+	}
 	// A failed handle no-ops: a dead rank must stop participating (its
 	// peers' watchdogs already wrote it off), and a revoked communicator
 	// accepts no new collectives until the survivors Shrink it.
@@ -31,11 +39,27 @@ func (x *Comm) run(op OpKind, bytes int64, d decision,
 		}
 		return
 	}
+	// A stale-epoch handle no-ops: a Grow superseded this member set, and
+	// interleaving old-epoch collectives with the grown world would remix
+	// the two sides of a healed partition.
+	if x.rt.staleCtx[x.mpi.ContextID()] {
+		if x.failure == nil {
+			x.failure = ErrStaleEpoch
+		}
+		return
+	}
 	// Proactive fast-fail: a peer the heartbeat detector has confirmed
 	// dead would stall this collective until the watchdog fires; surface
 	// the same ErrRankDead verdict now instead of paying the timeout.
 	if err := x.suspectErr(op); err != nil {
 		x.noteRankFailure(op, err)
+		return
+	}
+	// Partition fast-fail: a member on the far side of an active cut makes
+	// the collective unrunnable; surface ErrUnreachable in bounded time so
+	// the caller escalates to the quorum Shrink instead of timing out.
+	if err := x.unreachableErr(op); err != nil {
+		x.notePartition(op, err)
 		return
 	}
 	start := x.mpi.Proc().Now()
@@ -55,6 +79,13 @@ func (x *Comm) run(op OpKind, bytes int64, d decision,
 				// neither the retry loop nor the breaker reacts — the
 				// failure is surfaced for ULFM-style revoke/shrink.
 				x.noteRankFailure(op, err)
+				return
+			}
+			if errors.Is(err, ccl.ErrUnreachable) {
+				// A transfer crossed the cut mid-schedule (the partition
+				// opened after dispatch). Same policy as fail-stop: no
+				// retry, no MPI fallback — surface it for the quorum vote.
+				x.notePartition(op, err)
 				return
 			}
 			x.rt.breakerFailure(x, op)

@@ -144,6 +144,10 @@ func (x *Comm) Grow(need int) (*Comm, []int, error) {
 				}
 				slot.members = gs.members
 				delete(rt.sparePool, spare)
+				// A rejoining fenced rank unfences itself before parking;
+				// clearing here too keeps the invariant (no fenced member
+				// in a live communicator) independent of the join path.
+				rt.unfence(spare)
 				slot.join.Fire()
 			}
 			for r := 0; r < x.Size(); r++ {
@@ -152,6 +156,11 @@ func (x *Comm) Grow(need int) (*Comm, []int, error) {
 				}
 				_, _ = fab.TryControlMsg(p, x.mpi.RankDevice(coord), x.mpi.RankDevice(r))
 			}
+			// The grown member set supersedes this context: collectives
+			// still dispatched on the old handle would run at the shrunk
+			// width against peers that moved on, so they are rejected with
+			// ErrStaleEpoch (stale-epoch fencing of failure model v3).
+			rt.staleCtx[ctx] = true
 			rt.noteGrow(len(gs.members), p.Now())
 		}
 		delete(rt.grows, ctx)
@@ -188,6 +197,7 @@ func (rt *Runtime) releaseSpares() {
 // closed the agreement; rank -1: the event belongs to the runtime).
 func (rt *Runtime) noteGrow(to int, now time.Duration) {
 	rt.stats.Grows++
+	rt.bumpEpoch()
 	rt.opts.Metrics.Counter("xccl_grow_total",
 		"Completed spare-rank communicator grows.",
 		metrics.Labels{"backend": string(rt.kind)}).Inc()

@@ -35,6 +35,7 @@ type healthMonitor struct {
 	mean      map[int]time.Duration // world rank -> EWMA beat inter-arrival
 	dev       map[int]time.Duration // world rank -> EWMA absolute deviation
 	suspected map[int]time.Duration // world rank -> virtual time of confirmed suspicion
+	cutNoted  map[[2]int]bool       // (witness, peer) -> partitioned outcome noted for the current cut
 }
 
 func newHealthMonitor(rt *Runtime, interval time.Duration, threshold float64) *healthMonitor {
@@ -46,6 +47,7 @@ func newHealthMonitor(rt *Runtime, interval time.Duration, threshold float64) *h
 		mean:      make(map[int]time.Duration),
 		dev:       make(map[int]time.Duration),
 		suspected: make(map[int]time.Duration),
+		cutNoted:  make(map[[2]int]bool),
 	}
 }
 
@@ -138,6 +140,19 @@ func (hm *healthMonitor) check(c *mpi.Comm, self int, p *sim.Proc) {
 		if _, bad := hm.suspected[wr]; bad {
 			continue
 		}
+		if hm.rt.partitioner() != nil && hm.rt.severedPair(c, self, r, now) {
+			// The peer is across an active cut: unreachable, not dead. Note
+			// the episode once per (witness, peer) and skip phi accounting —
+			// partition silence must never decay into a death verdict (the
+			// quorum Shrink, not the detector, excludes severed ranks).
+			key := [2]int{self, wr}
+			if !hm.cutNoted[key] {
+				hm.cutNoted[key] = true
+				hm.noteSuspicion(wr, self, now, "partitioned")
+			}
+			continue
+		}
+		delete(hm.cutNoted, [2]int{self, wr})
 		lastT, ok := hm.last[wr]
 		if !ok {
 			continue
@@ -173,11 +188,14 @@ func (hm *healthMonitor) noteSuspicion(peer, witness int, now time.Duration, out
 		rt.stats.Suspicions++
 	}
 	rt.opts.Metrics.Counter("xccl_suspicions_total",
-		"Heartbeat suspicions by outcome (confirmed dead vs retracted false positive).",
+		"Heartbeat suspicions by outcome (confirmed dead, retracted false positive, or partitioned peer).",
 		metrics.Labels{"backend": string(rt.kind), "outcome": outcome}).Inc()
 	event := "rank_suspected"
-	if outcome == "retracted" {
+	switch outcome {
+	case "retracted":
 		event = "suspicion_retracted"
+	case "partitioned":
+		event = "rank_partitioned"
 	}
 	rec := trace.Record{
 		Op: "heartbeat", Backend: string(rt.kind), Rank: witness,

@@ -1,0 +1,394 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"mpixccl/internal/ccl"
+	"mpixccl/internal/fault"
+	"mpixccl/internal/metrics"
+	"mpixccl/internal/mpi"
+)
+
+// Failure model v3 end to end, minus the heal: a permanent node-scoped cut
+// severs node 1 (ranks 8-11) from node 0 (ranks 0-7) of a 12-rank job. The
+// majority side quorum-shrinks to 8 and keeps computing; the minority side
+// loses the quorum vote, fences itself, and every later dispatch fails
+// fast with ErrFenced — all in bounded virtual time, no watchdog needed.
+func TestPartitionQuorumShrinkMinorityFences(t *testing.T) {
+	const nranks = 12
+	reg := metrics.NewRegistry()
+	rt := newRuntime(t, "thetagpu", nranks, Options{
+		Backend: Auto, Mode: PureCCL, Metrics: reg, Resilience: watchdogPolicy(),
+	})
+	cut := 50 * time.Microsecond
+	rt.Job().Fabric().SetFaults(fault.NewPlan(1).AddPartitionRule(fault.PartitionRule{
+		Name: "cut", Nodes: []int{1}, From: cut,
+	}))
+
+	const count = 64
+	if err := rt.Run(func(x *Comm) {
+		p := x.MPI().Proc()
+		buf := x.Device().MustMalloc(count * 4)
+		defer buf.Free()
+
+		// Before the cut: full-width collective completes everywhere.
+		buf.FillFloat32(1)
+		x.Allreduce(buf, buf, count, mpi.Float32, mpi.OpSum)
+		if err := x.Failure(); err != nil {
+			t.Errorf("rank %d pre-cut failure: %v", x.Rank(), err)
+			return
+		}
+		if buf.Float32(0) != nranks {
+			t.Errorf("rank %d pre-cut sum = %v, want %d", x.Rank(), buf.Float32(0), nranks)
+		}
+
+		// After the cut: the dispatch fast-fails. The first rank to run sees
+		// ErrUnreachable; its Shrink revokes the communicator, so later
+		// ranks see ErrCommRevoked — either way, nobody blocks.
+		p.Sleep(cut)
+		x.Allreduce(buf, buf, count, mpi.Float32, mpi.OpSum)
+		if f := x.Failure(); !errors.Is(f, ccl.ErrUnreachable) && !errors.Is(f, ErrCommRevoked) {
+			t.Errorf("rank %d post-cut failure = %v, want ErrUnreachable or ErrCommRevoked", x.Rank(), f)
+			return
+		}
+
+		nx, serr := x.Shrink()
+		if x.MPI().WorldRank() < 8 {
+			// Majority: quorum holds (8 of 12), shrink succeeds, compute on.
+			if serr != nil {
+				t.Errorf("majority rank %d shrink: %v", x.Rank(), serr)
+				return
+			}
+			if nx.Size() != 8 {
+				t.Errorf("shrunk size = %d, want 8", nx.Size())
+			}
+			buf.FillFloat32(1)
+			nx.Allreduce(buf, buf, count, mpi.Float32, mpi.OpSum)
+			if err := nx.Failure(); err != nil {
+				t.Errorf("majority rank %d post-shrink failure: %v", x.Rank(), err)
+			} else if buf.Float32(0) != 8 {
+				t.Errorf("post-shrink sum = %v, want 8", buf.Float32(0))
+			}
+			return
+		}
+		// Minority: the quorum vote fails without entering the rendezvous.
+		if !errors.Is(serr, ErrNoQuorum) {
+			t.Errorf("minority rank %d shrink = %v, want ErrNoQuorum", x.Rank(), serr)
+			return
+		}
+		// Fencing is a property of the rank, not the handle: a fresh handle
+		// on the same rank fast-fails with ErrFenced.
+		fx := rt.Wrap(x.MPI())
+		fx.Allreduce(buf, buf, count, mpi.Float32, mpi.OpSum)
+		if !errors.Is(fx.Failure(), ErrFenced) {
+			t.Errorf("minority rank %d fenced dispatch = %v, want ErrFenced", x.Rank(), fx.Failure())
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	st := rt.Stats()
+	if st.Shrinks != 1 || st.Partitions != 1 || st.FencedRanks != 4 || st.Epoch != 1 {
+		t.Errorf("Shrinks, Partitions, FencedRanks, Epoch = %d, %d, %d, %d; want 1, 1, 4, 1",
+			st.Shrinks, st.Partitions, st.FencedRanks, st.Epoch)
+	}
+	if got := rt.Fenced(); len(got) != 4 {
+		t.Errorf("Fenced() = %v, want 4 fenced ranks", got)
+	}
+
+	// Satellite: the partition metric families round-trip through the
+	// Prometheus text exposition.
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	vals, err := metrics.ParseText(buf.Bytes())
+	if err != nil {
+		t.Fatalf("ParseText: %v", err)
+	}
+	for key, want := range map[string]float64{
+		`xccl_partitions_total{backend="nccl"}`:   1,
+		`xccl_fenced_ranks_total{backend="nccl"}`: 4,
+		`xccl_epoch{backend="nccl"}`:              1,
+	} {
+		if got, ok := vals[key]; !ok || got != want {
+			t.Errorf("%s = %v (exists %v), want %v", key, got, ok, want)
+		}
+	}
+}
+
+// The heal-and-rejoin arc: the cut is time-windowed, so the fenced
+// minority Rejoins through the spare pool once it heals, the majority
+// polls Grow until the rejoiners park, and the job finishes at full width
+// with a working communicator. The superseded shrunk handle rejects
+// further collectives with ErrStaleEpoch.
+func TestPartitionHealRejoinRestoresFullWidth(t *testing.T) {
+	const nranks = 12
+	rt := newRuntime(t, "thetagpu", nranks, Options{
+		Backend: Auto, Mode: PureCCL, Resilience: watchdogPolicy(),
+	})
+	cut, heal := 50*time.Microsecond, 400*time.Microsecond
+	rt.Job().Fabric().SetFaults(fault.NewPlan(1).AddPartitionRule(fault.PartitionRule{
+		Name: "cut", Nodes: []int{1}, From: cut, Until: heal,
+	}))
+
+	const count = 64
+	restores := 0
+	if err := rt.Run(func(x *Comm) {
+		p := x.MPI().Proc()
+		buf := x.Device().MustMalloc(count * 4)
+		defer buf.Free()
+
+		p.Sleep(cut)
+		x.Allreduce(buf, buf, count, mpi.Float32, mpi.OpSum)
+		if f := x.Failure(); !errors.Is(f, ccl.ErrUnreachable) && !errors.Is(f, ErrCommRevoked) {
+			t.Errorf("rank %d post-cut failure = %v, want ErrUnreachable or ErrCommRevoked", x.Rank(), f)
+			return
+		}
+		nx, serr := x.Shrink()
+		if errors.Is(serr, ErrNoQuorum) {
+			// Minority: wait out the cut, resync, re-enter via Grow.
+			gx, ok := x.Rejoin(func() {
+				p.Sleep(5 * time.Microsecond) // checkpoint reload
+				restores++
+			})
+			if !ok {
+				t.Errorf("minority rank %d: Rejoin not adopted", x.MPI().WorldRank())
+				return
+			}
+			if p.Now() < heal {
+				t.Errorf("minority rank %d rejoined at %v, before the heal at %v",
+					x.MPI().WorldRank(), p.Now(), heal)
+			}
+			x = gx
+		} else if serr != nil {
+			t.Errorf("rank %d shrink: %v", x.Rank(), serr)
+			return
+		} else {
+			// Majority: poll Grow until the rejoiners have parked. Every
+			// member calls Grow each round; ErrNoSpares is a shared verdict,
+			// so the rounds stay in lockstep.
+			for {
+				gx, adopted, gerr := nx.Grow(nranks - nx.Size())
+				if gerr == nil {
+					if len(adopted) != 4 {
+						t.Errorf("adopted = %v, want the 4 fenced ranks", adopted)
+					}
+					// The grown member set supersedes the shrunk handle.
+					nx.Allreduce(buf, buf, count, mpi.Float32, mpi.OpSum)
+					if !errors.Is(nx.Failure(), ErrStaleEpoch) {
+						t.Errorf("stale handle failure = %v, want ErrStaleEpoch", nx.Failure())
+					}
+					x = gx
+					break
+				}
+				if !errors.Is(gerr, ErrNoSpares) {
+					t.Errorf("rank %d grow: %v", x.Rank(), gerr)
+					return
+				}
+				p.Sleep(50 * time.Microsecond)
+			}
+		}
+		// Full width restored: a collective on the grown communicator
+		// completes with every rank contributing.
+		if x.Size() != nranks {
+			t.Errorf("rejoined size = %d, want %d", x.Size(), nranks)
+		}
+		buf.FillFloat32(1)
+		x.Allreduce(buf, buf, count, mpi.Float32, mpi.OpSum)
+		if err := x.Failure(); err != nil {
+			t.Errorf("world rank %d post-rejoin failure: %v", x.MPI().WorldRank(), err)
+		} else if buf.Float32(0) != nranks {
+			t.Errorf("post-rejoin sum = %v, want %d", buf.Float32(0), nranks)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if restores != 4 {
+		t.Errorf("restore callbacks = %d, want 4", restores)
+	}
+	st := rt.Stats()
+	if st.Shrinks != 1 || st.Grows != 1 || st.Partitions != 1 || st.FencedRanks != 4 {
+		t.Errorf("Shrinks, Grows, Partitions, FencedRanks = %d, %d, %d, %d; want 1, 1, 1, 4",
+			st.Shrinks, st.Grows, st.Partitions, st.FencedRanks)
+	}
+	if st.Epoch != 2 {
+		t.Errorf("Epoch = %d, want 2 (one shrink + one grow)", st.Epoch)
+	}
+	if got := rt.Fenced(); got != nil {
+		t.Errorf("Fenced() after rejoin = %v, want none", got)
+	}
+}
+
+// An exact 50/50 split has no strict majority: both halves must fence
+// rather than fork the membership into two shrunken worlds. The job still
+// drains in bounded time (no deadlock, no divergent Shrink).
+func TestPartitionEvenSplitFencesBothSides(t *testing.T) {
+	const nranks = 16 // two thetagpu nodes, 8 + 8
+	rt := newRuntime(t, "thetagpu", nranks, Options{
+		Backend: Auto, Mode: PureCCL, Resilience: watchdogPolicy(),
+	})
+	cut := 50 * time.Microsecond
+	rt.Job().Fabric().SetFaults(fault.NewPlan(1).AddPartitionRule(fault.PartitionRule{
+		Name: "cut", Nodes: []int{1}, From: cut,
+	}))
+
+	if err := rt.Run(func(x *Comm) {
+		x.MPI().Proc().Sleep(cut)
+		buf := x.Device().MustMalloc(64)
+		defer buf.Free()
+		buf.FillFloat32(1)
+		x.Allreduce(buf, buf, 16, mpi.Float32, mpi.OpSum)
+		if !errors.Is(x.Failure(), ccl.ErrUnreachable) {
+			t.Errorf("rank %d failure = %v, want ErrUnreachable", x.Rank(), x.Failure())
+			return
+		}
+		if _, serr := x.Shrink(); !errors.Is(serr, ErrNoQuorum) {
+			t.Errorf("rank %d shrink = %v, want ErrNoQuorum on an even split", x.Rank(), serr)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	st := rt.Stats()
+	if st.Shrinks != 0 || st.FencedRanks != nranks {
+		t.Errorf("Shrinks, FencedRanks = %d, %d; want 0, %d", st.Shrinks, st.FencedRanks, nranks)
+	}
+}
+
+// Rank-scoped cuts live above the fabric (which routes by node): severing
+// world rank 3 from an intra-node communicator is invisible to transfers
+// but still drives the membership machinery — the isolated rank fences,
+// the majority shrinks around it.
+func TestPartitionRankScopedCut(t *testing.T) {
+	const nranks = 4
+	rt := newRuntime(t, "thetagpu", nranks, Options{
+		Backend: Auto, Mode: PureCCL, Resilience: watchdogPolicy(),
+	})
+	cut := 50 * time.Microsecond
+	rt.Job().Fabric().SetFaults(fault.NewPlan(1).AddPartitionRule(fault.PartitionRule{
+		Name: "isolate3", Ranks: []int{3}, From: cut,
+	}))
+
+	if err := rt.Run(func(x *Comm) {
+		x.MPI().Proc().Sleep(cut)
+		buf := x.Device().MustMalloc(64)
+		defer buf.Free()
+		buf.FillFloat32(1)
+		x.Allreduce(buf, buf, 16, mpi.Float32, mpi.OpSum)
+		if f := x.Failure(); !errors.Is(f, ccl.ErrUnreachable) && !errors.Is(f, ErrCommRevoked) {
+			t.Errorf("rank %d failure = %v, want ErrUnreachable or ErrCommRevoked", x.Rank(), f)
+			return
+		}
+		nx, serr := x.Shrink()
+		if x.Rank() == 3 {
+			if !errors.Is(serr, ErrNoQuorum) {
+				t.Errorf("isolated rank shrink = %v, want ErrNoQuorum", serr)
+			}
+			return
+		}
+		if serr != nil {
+			t.Errorf("rank %d shrink: %v", x.Rank(), serr)
+			return
+		}
+		if nx.Size() != 3 {
+			t.Errorf("shrunk size = %d, want 3", nx.Size())
+		}
+		buf.FillFloat32(1)
+		nx.Allreduce(buf, buf, 16, mpi.Float32, mpi.OpSum)
+		if err := nx.Failure(); err != nil {
+			t.Errorf("rank %d post-shrink failure: %v", x.Rank(), err)
+		} else if buf.Float32(0) != 3 {
+			t.Errorf("post-shrink sum = %v, want 3", buf.Float32(0))
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	st := rt.Stats()
+	if st.Partitions != 1 || st.FencedRanks != 1 {
+		t.Errorf("Partitions, FencedRanks = %d, %d; want 1, 1", st.Partitions, st.FencedRanks)
+	}
+}
+
+// A cut that lands mid-schedule (after dispatch, before the transfers
+// finish) aborts the collective instead of deadlocking: the fabric fails
+// the severed hop fast, the shared verdict propagates to every
+// participant after the run, and all ranks observe ErrUnreachable in
+// bounded virtual time.
+func TestPartitionMidScheduleAbortsCollective(t *testing.T) {
+	const nranks = 12
+	rt := newRuntime(t, "thetagpu", nranks, Options{
+		Backend: Auto, Mode: PureCCL, Resilience: watchdogPolicy(),
+	})
+	// Dispatch at 100us sails past the pre-dispatch check; the cut opens
+	// 1us later, while the big allreduce's transfers are in flight.
+	start := 100 * time.Microsecond
+	rt.Job().Fabric().SetFaults(fault.NewPlan(1).AddPartitionRule(fault.PartitionRule{
+		Name: "midcut", Nodes: []int{1}, From: start + time.Microsecond,
+	}))
+
+	const count = 1 << 20 // 4 MiB: transfer time far exceeds the 1us gap
+	if err := rt.Run(func(x *Comm) {
+		x.MPI().Proc().Sleep(start)
+		buf := x.Device().MustMalloc(count * 4)
+		defer buf.Free()
+		buf.FillFloat32(1)
+		x.Allreduce(buf, buf, count, mpi.Float32, mpi.OpSum)
+		if !errors.Is(x.Failure(), ccl.ErrUnreachable) {
+			t.Errorf("rank %d mid-schedule failure = %v, want ErrUnreachable",
+				x.Rank(), x.Failure())
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The heartbeat detector must not convert partition silence into a death
+// verdict: while the cut is open the detector notes "partitioned" for
+// severed peers, hm.suspected stays empty, and Stats().Suspicions stays 0.
+func TestHeartbeatPartitionedOutcomeIsNotDeath(t *testing.T) {
+	const nranks = 12
+	pol := DefaultResilience()
+	pol.WatchdogTimeout = 200 * time.Microsecond
+	pol.HeartbeatInterval = 20 * time.Microsecond
+	reg := metrics.NewRegistry()
+	rt := newRuntime(t, "thetagpu", nranks, Options{
+		Backend: Auto, Mode: PureCCL, Metrics: reg, Resilience: pol,
+	})
+	cut, heal := 60*time.Microsecond, 300*time.Microsecond
+	rt.Job().Fabric().SetFaults(fault.NewPlan(1).AddPartitionRule(fault.PartitionRule{
+		Name: "cut", Nodes: []int{1}, From: cut, Until: heal,
+	}))
+
+	if err := rt.Run(func(x *Comm) {
+		p := x.MPI().Proc()
+		// Let the detector observe healthy beats, the cut, and the heal.
+		p.Sleep(heal + 100*time.Microsecond)
+		buf := x.Device().MustMalloc(64)
+		defer buf.Free()
+		buf.FillFloat32(1)
+		// Post-heal: the full world is reachable again, no fence, no death.
+		x.Allreduce(buf, buf, 16, mpi.Float32, mpi.OpSum)
+		if err := x.Failure(); err != nil {
+			t.Errorf("rank %d post-heal failure: %v", x.Rank(), err)
+		} else if buf.Float32(0) != nranks {
+			t.Errorf("post-heal sum = %v, want %d", buf.Float32(0), nranks)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if st := rt.Stats(); st.Suspicions != 0 {
+		t.Errorf("Suspicions = %d, want 0 (partitioned peers are alive)", st.Suspicions)
+	}
+	v, ok := reg.CounterValue("xccl_suspicions_total",
+		metrics.Labels{"backend": "nccl", "outcome": "partitioned"})
+	if !ok || v == 0 {
+		t.Errorf("partitioned suspicion outcome = %v (exists %v), want > 0", v, ok)
+	}
+	if v, ok := reg.CounterValue("xccl_suspicions_total",
+		metrics.Labels{"backend": "nccl", "outcome": "confirmed"}); ok && v != 0 {
+		t.Errorf("confirmed suspicions = %v, want none during a pure partition", v)
+	}
+}

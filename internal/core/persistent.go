@@ -143,9 +143,21 @@ func (po *PersistentOp) Start() error {
 	if po.freed {
 		return ErrOpFreed
 	}
+	if _, bad := x.rt.fenced[x.mpi.WorldRank()]; bad {
+		if x.failure == nil {
+			x.failure = ErrFenced
+		}
+		return x.failure
+	}
 	if x.dead || x.rt.revoked[x.mpi.ContextID()] {
 		if x.failure == nil {
 			x.failure = ErrCommRevoked
+		}
+		return x.failure
+	}
+	if x.rt.staleCtx[x.mpi.ContextID()] {
+		if x.failure == nil {
+			x.failure = ErrStaleEpoch
 		}
 		return x.failure
 	}
@@ -153,6 +165,12 @@ func (po *PersistentOp) Start() error {
 	// join this wave, so surface the verdict before launching.
 	if err := x.suspectErr(OpAllreduce); err != nil {
 		x.noteRankFailure(OpAllreduce, err)
+		return err
+	}
+	// Partition fast-fail, mirroring run(): a severed peer cannot join
+	// this wave either.
+	if err := x.unreachableErr(OpAllreduce); err != nil {
+		x.notePartition(OpAllreduce, err)
 		return err
 	}
 	po.start = x.mpi.Proc().Now()
@@ -181,6 +199,11 @@ func (po *PersistentOp) Start() error {
 	if err := po.pc.Start(); err != nil {
 		if errors.Is(err, ccl.ErrRankDead) {
 			x.noteRankFailure(OpAllreduce, err)
+			po.inflight = false
+			return err
+		}
+		if errors.Is(err, ccl.ErrUnreachable) {
+			x.notePartition(OpAllreduce, err)
 			po.inflight = false
 			return err
 		}
@@ -234,6 +257,12 @@ func (po *PersistentOp) Wait() error {
 				// would block forever on the dead peer. The handle is
 				// permanently broken; rebuild it after Shrink.
 				x.noteRankFailure(OpAllreduce, err)
+				return err
+			}
+			if errors.Is(err, ccl.ErrUnreachable) {
+				// Severed by a partition: same reasoning — the MPI fallback
+				// crosses the same cut. Rebuild after the quorum shrink.
+				x.notePartition(OpAllreduce, err)
 				return err
 			}
 			x.rt.breakerFailure(x, OpAllreduce)

@@ -111,6 +111,7 @@ func (x *Comm) Revoke() {
 // performs the agreement broadcast, and all leave with the same member set.
 type shrinkState struct {
 	survivors []int // agreed surviving local ranks, ascending
+	cut       int   // alive ranks excluded as unreachable (partition episode)
 	arrived   int
 	ready     *sim.Event
 }
@@ -134,6 +135,31 @@ func (x *Comm) Shrink() (*Comm, error) {
 	}
 	rt := x.rt
 	ctx := x.mpi.ContextID()
+	if pt := rt.partitioner(); pt != nil {
+		// Quorum gate (failure model v3): this rank may only shrink with
+		// the peers it can actually reach — alive AND not severed from it.
+		// Anything short of a strict majority of the pre-failure size
+		// would fork the membership (the far side would shrink too), so
+		// the minority — and both halves of an exact 50/50 split — fences
+		// itself instead of entering the rendezvous. The gate never fires
+		// without a partition oracle, keeping the crash-only path intact.
+		gnow := x.mpi.Proc().Now()
+		gfs := x.mpi.Job().Fabric().FailStop()
+		reachable := 0
+		for r := 0; r < x.Size(); r++ {
+			if gfs != nil && gfs.RankDead(x.mpi.WorldRankOf(r), gnow) {
+				continue
+			}
+			if r != x.Rank() && rt.severedPair(x.mpi, x.Rank(), r, gnow) {
+				continue
+			}
+			reachable++
+		}
+		if reachable*2 <= x.Size() {
+			rt.fence(x, gnow)
+			return nil, ErrNoQuorum
+		}
+	}
 	if !rt.revoked[ctx] {
 		// Shrinking implies revocation: late ranks that skipped the
 		// explicit Revoke must still stop dispatching on the old handle.
@@ -146,14 +172,24 @@ func (x *Comm) Shrink() (*Comm, error) {
 	if !ok {
 		// First arrival computes the survivor set. Later deaths would be
 		// a different epoch: the set is fixed per shrink so every
-		// participant waits for the same peers.
+		// participant waits for the same peers. Under a partition the set
+		// also excludes ranks severed from this arrival — the cut is a
+		// clean bipartition, so every majority rank computes the same
+		// set, and the fenced minority never reaches this point.
+		pt := rt.partitioner()
 		var survivors []int
+		cut := 0
 		for r := 0; r < x.Size(); r++ {
-			if fs == nil || !fs.RankDead(x.mpi.WorldRankOf(r), now) {
-				survivors = append(survivors, r)
+			if fs != nil && fs.RankDead(x.mpi.WorldRankOf(r), now) {
+				continue
 			}
+			if pt != nil && r != x.Rank() && rt.severedPair(x.mpi, x.Rank(), r, now) {
+				cut++
+				continue
+			}
+			survivors = append(survivors, r)
 		}
-		ss = &shrinkState{survivors: survivors, ready: sim.NewEvent(p.Kernel())}
+		ss = &shrinkState{survivors: survivors, cut: cut, ready: sim.NewEvent(p.Kernel())}
 		rt.shrinks[ctx] = ss
 	}
 	coord := ss.survivors[0]
@@ -175,7 +211,7 @@ func (x *Comm) Shrink() (*Comm, error) {
 		}
 		delete(rt.shrinks, ctx)
 		delete(rt.cache, fmt.Sprintf("%d/%s", ctx, rt.kind))
-		rt.noteShrink(x, len(ss.survivors), p.Now())
+		rt.noteShrink(x, len(ss.survivors), ss.cut, p.Now())
 		ss.ready.Fire()
 	}
 	sub := x.mpi.Subset(ss.survivors)
@@ -184,11 +220,21 @@ func (x *Comm) Shrink() (*Comm, error) {
 
 // noteShrink publishes one completed shrink (recorded once, by the rank
 // that closed the agreement; rank -1: the event belongs to the runtime).
-func (rt *Runtime) noteShrink(x *Comm, to int, now time.Duration) {
+// cut is how many alive-but-unreachable ranks the survivor set excluded: a
+// positive cut is one handled partition episode, and every shrink bumps
+// the membership epoch.
+func (rt *Runtime) noteShrink(x *Comm, to, cut int, now time.Duration) {
 	rt.stats.Shrinks++
+	rt.bumpEpoch()
 	rt.opts.Metrics.Counter("xccl_shrink_total",
 		"Completed ULFM-style communicator shrinks.",
 		metrics.Labels{"backend": string(rt.kind)}).Inc()
+	if cut > 0 {
+		rt.stats.Partitions++
+		rt.opts.Metrics.Counter("xccl_partitions_total",
+			"Partition episodes handled: quorum shrinks that excluded alive-but-unreachable ranks.",
+			metrics.Labels{"backend": string(rt.kind)}).Inc()
+	}
 	rec := trace.Record{
 		Op: "shrink", Backend: string(rt.kind), Rank: -1,
 		Event: "comm_shrink", Start: now, Bytes: int64(to),

@@ -157,6 +157,15 @@ type Stats struct {
 	Shrinks int
 	// Grows counts completed spare-rank communicator grows.
 	Grows int
+	// Partitions counts handled partition episodes: quorum shrinks that
+	// excluded at least one alive-but-unreachable rank.
+	Partitions int
+	// FencedRanks counts ranks that fenced themselves on the minority
+	// side of a partition (once per rank per fencing).
+	FencedRanks int
+	// Epoch is the current membership epoch: completed membership changes
+	// (shrinks and grows) since the job started.
+	Epoch int
 	// Fallbacks counts MPI fallbacks by cause.
 	Fallbacks struct {
 		Datatype, Op, Device, HostBuffer, Error int
@@ -204,9 +213,11 @@ type Runtime struct {
 	waves    map[waveKey]*waveVerdict // in-flight wave-consistent verdicts
 	waveIdx  map[rankKey]int          // per-rank collective call indices
 
-	revoked map[int]bool         // revoked communicator context ids (ULFM)
-	shrinks map[int]*shrinkState // in-flight Shrink rendezvous by context id
-	grows   map[int]*growState   // in-flight Grow rendezvous by context id
+	revoked  map[int]bool          // revoked communicator context ids (ULFM)
+	shrinks  map[int]*shrinkState  // in-flight Shrink rendezvous by context id
+	grows    map[int]*growState    // in-flight Grow rendezvous by context id
+	fenced   map[int]time.Duration // fenced world ranks -> fence time (partition minority)
+	staleCtx map[int]bool          // context ids superseded by a Grow (stale epoch)
 
 	health    *healthMonitor     // heartbeat failure detector (nil when off)
 	worldMPI  map[int]*mpi.Comm  // world rank -> its world communicator handle
@@ -250,6 +261,8 @@ func NewRuntime(job *mpi.Job, opts Options) (*Runtime, error) {
 		revoked:   make(map[int]bool),
 		shrinks:   make(map[int]*shrinkState),
 		grows:     make(map[int]*growState),
+		fenced:    make(map[int]time.Duration),
+		staleCtx:  make(map[int]bool),
 		worldMPI:  make(map[int]*mpi.Comm),
 		sparePool: make(map[int]*spareSlot),
 	}

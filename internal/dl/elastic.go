@@ -19,6 +19,13 @@ import (
 // checkpoint pays (NVMe-backed host staging, ~12 GB/s).
 const ckptBandwidth = 12 << 30
 
+// CheckpointTime returns the virtual time one synchronous checkpoint of
+// model m costs (write and restore pay the same serialization).
+// Exhibits use it to place fault windows relative to step boundaries.
+func CheckpointTime(m *Model) time.Duration {
+	return time.Duration(float64(m.Params()*4) / ckptBandwidth * float64(time.Second))
+}
+
 // ElasticReport extends Report with the fail-stop recovery outcome of one
 // TrainElastic run.
 type ElasticReport struct {
@@ -39,6 +46,14 @@ type ElasticReport struct {
 	// SuspectedAt maps world ranks the heartbeat detector confirmed dead
 	// to the virtual time of suspicion (nil when the detector is off).
 	SuspectedAt map[int]time.Duration
+	// Partitions counts handled network-partition episodes (quorum shrinks
+	// that excluded alive-but-unreachable ranks).
+	Partitions int
+	// FencedRanks counts ranks that fenced themselves on the minority side
+	// of a partition (cumulative; they clear the fence when they rejoin).
+	FencedRanks int
+	// Epoch is the final membership epoch: completed shrinks plus grows.
+	Epoch int
 	// RollbackSteps is the total training steps re-executed after
 	// rollbacks to the last checkpoint.
 	RollbackSteps int
@@ -125,8 +140,7 @@ func TrainElastic(cfg Config) (ElasticReport, error) {
 			maxBucket = b.Bytes
 		}
 	}
-	paramBytes := cfg.Model.Params() * 4
-	ckptTime := time.Duration(float64(paramBytes) / ckptBandwidth * float64(time.Second))
+	ckptTime := CheckpointTime(cfg.Model)
 	rate := computeRate(sys.Device(0).Kind)
 	computeTime := time.Duration(float64(cfg.BatchSize) / rate * float64(time.Second))
 
@@ -143,6 +157,12 @@ func TrainElastic(cfg Config) (ElasticReport, error) {
 
 	rep := ElasticReport{StartRanks: nranks}
 	rep.Ranks, rep.BatchSize, rep.Buckets = nranks, cfg.BatchSize, len(buckets)
+	// Partition-aware mode: when the fault plan can cut the network, the
+	// loop adds the heal-and-rejoin arc — the fenced minority re-enters
+	// through the spare pool after the heal, and the majority polls Grow
+	// each step while below full width. Without partition rules every
+	// branch below is dead code and the loop is byte-identical to before.
+	partAware := rt.HasPartitions()
 	// ckpt is the checkpoint store's view of training progress, written by
 	// every worker at each (synchronous, globally consistent) checkpoint.
 	// Adopted spares restore from it before joining the grown world.
@@ -217,6 +237,32 @@ func TrainElastic(cfg Config) (ElasticReport, error) {
 			buildHandles()
 		}
 		for step < cfg.Steps {
+			if partAware && x.Size() < nranks {
+				// Below full width after a quorum shrink: poll Grow once per
+				// step until the fenced minority has rejoined the spare pool.
+				// Every member calls Grow each round and ErrNoSpares is a
+				// shared verdict, so the rounds stay in lockstep. On success
+				// everyone rolls back to the pre-cut checkpoint — the state
+				// the rejoiners restored — so the merged world is consistent
+				// and the examples trajectory matches a fault-free run.
+				gx, adopted, gerr := x.Grow(nranks - x.Size())
+				if gerr == nil {
+					x = gx
+					p = x.MPI().Proc()
+					if x.Rank() == 0 {
+						rep.AdoptedRanks = append(rep.AdoptedRanks, adopted...)
+						rep.RollbackSteps += step - lastCkpt
+						rollbackCtr.Add(float64(step - lastCkpt))
+					}
+					step = lastCkpt
+					examples = examplesAtCkpt
+					if cfg.Persistent {
+						buildHandles()
+					}
+				} else if !errors.Is(gerr, core.ErrNoSpares) {
+					panic(fmt.Sprintf("dl: regrow after partition failed: %v", gerr))
+				}
+			}
 			start := p.Now()
 			p.Sleep(computeTime)
 			if cfg.Persistent {
@@ -243,6 +289,29 @@ func TrainElastic(cfg Config) (ElasticReport, error) {
 					return
 				}
 				nx, serr := x.Shrink() // implies the revoke
+				if errors.Is(serr, core.ErrNoQuorum) {
+					// Minority side of a network partition: this rank is
+					// fenced. Wait out the cut, restore the pre-cut
+					// checkpoint (the majority suppresses checkpoints while
+					// shrunk, so the store still holds it), and re-enter
+					// through the majority's Grow rendezvous.
+					gx, ok := x.Rejoin(func() {
+						p.Sleep(ckptTime)
+						step, examples = ckpt.step, ckpt.examples
+						lastCkpt, examplesAtCkpt = step, examples
+					})
+					if !ok {
+						// The cut never heals (or the job drained): this
+						// rank's training is over.
+						return
+					}
+					x = gx
+					p = x.MPI().Proc()
+					if cfg.Persistent {
+						buildHandles()
+					}
+					continue
+				}
 				if serr != nil {
 					panic(fmt.Sprintf("dl: shrink failed: %v", serr))
 				}
@@ -283,9 +352,14 @@ func TrainElastic(cfg Config) (ElasticReport, error) {
 				rep.StepLatency = append(rep.StepLatency, p.Now()-start)
 				rep.Loss = append(rep.Loss, lossAfter(examples))
 			}
-			if step%cfg.CheckpointEvery == 0 && step < cfg.Steps {
+			if step%cfg.CheckpointEvery == 0 && step < cfg.Steps &&
+				!(partAware && x.Size() < nranks) {
 				// Synchronous checkpoint: every worker serializes its
-				// replica to host storage before the next step.
+				// replica to host storage before the next step. While the
+				// world is shrunk by a partition the checkpoint is
+				// suppressed: the store must keep the pre-cut state the
+				// fenced minority will restore from, and the regrow rolls
+				// the majority back to that same point.
 				p.Sleep(ckptTime)
 				lastCkpt, examplesAtCkpt = step, examples
 				ckpt.step, ckpt.examples = step, examples
@@ -310,6 +384,9 @@ func TrainElastic(cfg Config) (ElasticReport, error) {
 	rep.StepTime = total / time.Duration(len(rep.StepLatency))
 	rep.Shrinks = rt.Stats().Shrinks
 	rep.Grows = rt.Stats().Grows
+	rep.Partitions = rt.Stats().Partitions
+	rep.FencedRanks = rt.Stats().FencedRanks
+	rep.Epoch = rt.Stats().Epoch
 	rep.SuspectedAt = rt.Suspected()
 	rep.ImgPerSec = float64(cfg.BatchSize*rep.FinalRanks) / rep.StepTime.Seconds()
 	return rep, nil

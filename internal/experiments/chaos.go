@@ -46,10 +46,26 @@ func (r *chaosRNG) dur(lo, hi time.Duration) time.Duration {
 	return lo + time.Duration(r.float()*float64(hi-lo))
 }
 
+// chaosDeadline bounds each schedule's wall-clock (not virtual) runtime.
+// A schedule that exceeds it has hung — deadlock, livelock, or a runaway
+// retry loop — and the soak fails loudly with the offending seed instead
+// of wedging CI.
+var chaosDeadline = 2 * time.Minute
+
+// SetChaosDeadline overrides the per-schedule wall-clock deadline (the
+// xcclbench -chaos-deadline flag). Non-positive values keep the default.
+func SetChaosDeadline(d time.Duration) {
+	if d > 0 {
+		chaosDeadline = d
+	}
+}
+
 // RunChaos executes runs randomized schedules derived from seed and
 // returns a per-schedule report. The same seed always produces the same
 // schedules, faults, and outcomes. A non-nil error means at least one
-// invariant was violated; the report names every violation.
+// invariant was violated; the report names every violation. Schedules
+// rotate through three scenarios: a collective soak, an elastic crash
+// run, and a partition run (cut, quorum shrink, heal, rejoin).
 func RunChaos(seed uint64, runs int, reg *metrics.Registry) (string, error) {
 	if runs <= 0 {
 		runs = 20
@@ -59,12 +75,35 @@ func RunChaos(seed uint64, runs int, reg *metrics.Registry) (string, error) {
 	fmt.Fprintf(&b, "chaos soak: seed %#x, %d schedules\n", seed, runs)
 	failures := 0
 	for i := 0; i < runs; i++ {
+		type result struct {
+			line string
+			err  error
+		}
+		done := make(chan result, 1)
+		go func(i int) {
+			var line string
+			var err error
+			switch i % 3 {
+			case 0:
+				line, err = chaosCollective(rng)
+			case 1:
+				line, err = chaosElastic(rng)
+			default:
+				line, err = chaosPartition(rng)
+			}
+			done <- result{line, err}
+		}(i)
 		var line string
 		var err error
-		if i%2 == 0 {
-			line, err = chaosCollective(rng)
-		} else {
-			line, err = chaosElastic(rng)
+		select {
+		case res := <-done:
+			line, err = res.line, res.err
+		case <-time.After(chaosDeadline):
+			// The schedule's goroutine is abandoned (it cannot be killed),
+			// but the soak fails immediately and names the reproducer.
+			return b.String(), fmt.Errorf(
+				"chaos: schedule %d of seed %#x exceeded the %v wall-clock deadline (deadlock or livelock; rerun with -chaos seed=%d,runs=%d to reproduce)",
+				i, seed, chaosDeadline, seed, i+1)
 		}
 		if reg != nil {
 			outcome := "ok"
@@ -271,4 +310,77 @@ func chaosElastic(rng *chaosRNG) (string, error) {
 	}
 	return fmt.Sprintf("elastic %s: recovered to %d ranks in %v, loss matches fault-free run",
 		tag, rep.FinalRanks, suspectedAt-diedAt), nil
+}
+
+// chaosPartition trains across a randomized network partition on 2 nodes
+// (12 ranks: 8 majority, 4 minority): the cut opens at a random point in
+// the run, the majority must quorum-shrink and keep stepping, the
+// minority must fence. Two thirds of the draws heal the cut — the fenced
+// ranks must then rejoin to full width and the final loss must equal the
+// fault-free run's. The rest are permanent — the majority must finish at
+// width 8 and the fenced ranks must exit cleanly when the job drains.
+func chaosPartition(rng *chaosRNG) (string, error) {
+	const nranks, steps = 12, 6
+	model := &dl.Model{Name: "chaos-mlp"}
+	for i := 0; i < 8; i++ {
+		model.Tensors = append(model.Tensors, dl.Tensor{Name: "fc", Elems: 128 << 10})
+	}
+	cfg := dl.Config{
+		System: "thetagpu", Nodes: 2, Ranks: nranks,
+		Model: model, Steps: steps, CheckpointEvery: 2,
+		Persistent: rng.intn(2) == 1,
+	}
+	shadow := cfg
+	want, err := dl.TrainElastic(shadow)
+	if err != nil {
+		return "", fmt.Errorf("partition shadow run: %w", err)
+	}
+	var total time.Duration
+	for _, l := range want.StepLatency {
+		total += l
+	}
+	total += time.Duration(want.Checkpoints) * dl.CheckpointTime(model)
+
+	// The cut opens somewhere in the middle 30-60% of the fault-free
+	// timeline, so it is always observed by a later dispatch (the replay
+	// only extends the run).
+	cut := time.Duration(float64(total) * (0.3 + 0.3*rng.float()))
+	heals := rng.intn(3) > 0
+	var heal time.Duration
+	if heals {
+		heal = cut + rng.dur(total/6, total/2)
+	}
+	cfg.Faults = fault.NewPlan(rng.raw()).AddPartitionRule(fault.PartitionRule{
+		Name: "chaos-cut", Nodes: []int{1}, From: cut, Until: heal,
+	})
+	rep, err := dl.TrainElastic(cfg)
+	if err != nil {
+		return "", fmt.Errorf("partition run (cut %v heal %v): %w", cut, heal, err)
+	}
+	tag := fmt.Sprintf("cut %v heals=%v, persistent=%v", cut, heals, cfg.Persistent)
+	if rep.Partitions != 1 || rep.Shrinks != 1 || rep.FencedRanks != 4 {
+		return "", fmt.Errorf("partition %s: partitions %d shrinks %d fenced %d, want 1, 1, 4",
+			tag, rep.Partitions, rep.Shrinks, rep.FencedRanks)
+	}
+	if len(rep.CrashedRanks) != 0 {
+		return "", fmt.Errorf("partition %s: crashed ranks %v (a severed rank is alive)", tag, rep.CrashedRanks)
+	}
+	if !heals {
+		if rep.FinalRanks != 8 || rep.Grows != 0 {
+			return "", fmt.Errorf("partition %s: final ranks %d grows %d, want 8 and 0", tag, rep.FinalRanks, rep.Grows)
+		}
+		return fmt.Sprintf("partition %s: majority finished at 8 ranks, minority fenced cleanly", tag), nil
+	}
+	if rep.FinalRanks != nranks || rep.Grows < 1 {
+		return "", fmt.Errorf("partition %s: final ranks %d grows %d, want %d and >=1", tag, rep.FinalRanks, rep.Grows, nranks)
+	}
+	if rep.Epoch != rep.Shrinks+rep.Grows {
+		return "", fmt.Errorf("partition %s: epoch %d, want shrinks+grows = %d", tag, rep.Epoch, rep.Shrinks+rep.Grows)
+	}
+	got, wantLoss := rep.Loss[len(rep.Loss)-1], want.Loss[len(want.Loss)-1]
+	if got != wantLoss {
+		return "", fmt.Errorf("partition %s: final loss %v, fault-free shadow %v", tag, got, wantLoss)
+	}
+	return fmt.Sprintf("partition %s: healed to %d ranks after %d rollback steps, loss matches fault-free run",
+		tag, rep.FinalRanks, rep.RollbackSteps), nil
 }

@@ -30,12 +30,31 @@ func TestChaosSoak(t *testing.T) {
 	}
 }
 
-// A tiny soak for the -race leg of check.sh: two schedules exercise one
-// collective soak and one elastic recovery.
+// A tiny soak for the -race leg of check.sh: three schedules exercise one
+// collective soak, one elastic recovery, and one network partition.
 func TestChaosShort(t *testing.T) {
-	out, err := RunChaos(7, 2, nil)
+	out, err := RunChaos(7, 3, nil)
 	if err != nil {
 		t.Fatalf("%v\n%s", err, out)
+	}
+}
+
+// The chaos soak is engine-shard invariant: the same seed must produce a
+// byte-identical report at 1 and 4 scheduler shards — including the
+// partition schedule's quorum/fence/rejoin verdicts.
+func TestChaosShardInvariant(t *testing.T) {
+	serial, err := RunChaos(7, 3, nil)
+	if err != nil {
+		t.Fatalf("serial: %v\n%s", err, serial)
+	}
+	SetShards(4)
+	t.Cleanup(func() { SetShards(1) })
+	sharded, err := RunChaos(7, 3, nil)
+	if err != nil {
+		t.Fatalf("shards=4: %v\n%s", err, sharded)
+	}
+	if serial != sharded {
+		t.Errorf("report diverged at 4 shards:\n--- serial\n%s\n--- sharded\n%s", serial, sharded)
 	}
 }
 

@@ -504,7 +504,7 @@ func truncate(s string, n int) string {
 
 // IDs lists every experiment id in paper order.
 func IDs() []string {
-	return []string{"table1", "fig1a", "fig1b", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "resilience", "elastic"}
+	return []string{"table1", "fig1a", "fig1b", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "resilience", "elastic", "partition"}
 }
 
 // Run executes one experiment by id and returns its formatted output.
@@ -555,6 +555,9 @@ func RunWith(id string, scale Scale, reg *metrics.Registry) (string, error) {
 		return format(f, err)
 	case "elastic":
 		f, err := Elastic(scale, reg)
+		return format(f, err)
+	case "partition":
+		f, err := Partition(scale, reg)
 		return format(f, err)
 	default:
 		return "", fmt.Errorf("experiments: unknown id %q (want one of %s)", id, strings.Join(IDs(), ", "))

@@ -7,7 +7,7 @@ import (
 )
 
 func TestIDsAreRunnable(t *testing.T) {
-	if len(IDs()) != 13 {
+	if len(IDs()) != 14 {
 		t.Fatalf("IDs = %v", IDs())
 	}
 	if _, err := Run("nope", Quick); err == nil {

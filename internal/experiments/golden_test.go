@@ -28,7 +28,7 @@ const goldenPath = "testdata/golden_quick.json"
 func goldenVerifyIDs() []string {
 	ids := []string{"table1", "fig1a", "fig1b", "fig3", "fig4", "fig5", "resilience", "elastic"}
 	if !testing.Short() {
-		ids = append(ids, "fig6")
+		ids = append(ids, "fig6", "partition")
 	}
 	if os.Getenv("XCCL_GOLDEN_FULL") != "" {
 		ids = append(ids, "fig7", "fig8", "fig9", "fig10")

@@ -55,7 +55,9 @@ type ScaleConfig struct {
 	// cross-shard links must be pure time-window rules — see
 	// docs/ARCHITECTURE.md "Parallel simulation"). Crash rules target
 	// global node indices (the ring leaders); link/corrupt rules use class
-	// "inter" with global node indices.
+	// "inter" with global node indices; partition rules must be node-scoped
+	// (Nodes, global indices) with Probability 0 — the ring consults only
+	// the pure Severed/PartitionedUntil window queries.
 	Faults func(shard int) *fault.Plan
 	// DetectTimeout arms the ring-receive watchdog when Faults is set;
 	// default 2ms.
@@ -90,6 +92,11 @@ type ScaleResult struct {
 	// Dropped counts ring messages discarded at a stalled peer's full
 	// mailbox (only possible once a fault has broken the ring downstream).
 	Dropped int
+	// Severed counts ring sends that found the route cut by a partition
+	// rule. A healing cut holds the chunk and delivers it after the heal
+	// (the run finishes late but OK); a permanent cut loses the chunk and
+	// the ring breaks downstream.
+	Severed int
 }
 
 // ringMsg is the leader-ring payload: an accumulating digest plus a
@@ -109,6 +116,7 @@ type shardStats struct {
 	retransmits int
 	unrecovered int
 	dropped     int
+	severed     int
 	crashed     []int
 	// finish is the latest p.Now() observed by any of this shard's
 	// processes. The result's VirtTime is the max across shards: measuring
@@ -319,6 +327,7 @@ func RunScale(cfg ScaleConfig) (ScaleResult, error) {
 		res.Retransmits += st.retransmits
 		res.Unrecovered += st.unrecovered
 		res.Dropped += st.dropped
+		res.Severed += st.severed
 		res.Crashed = append(res.Crashed, st.crashed...)
 	}
 	return res, nil
@@ -349,6 +358,7 @@ func runScaleRing(p *sim.Proc, eng *sim.Sharded, sf *fabric.Sharded, cfg *ScaleC
 	carry, cvalid := *acc, *accOK
 	sum, sumOK := *acc, *accOK
 	alive := true
+	held := 0
 	for step := 0; step < 2*(nodes-1); step++ {
 		if alive && plan != nil && plan.OpCrash("scale", "allreduce", g, p.Now()) {
 			alive = false
@@ -357,9 +367,25 @@ func runScaleRing(p *sim.Proc, eng *sim.Sharded, sf *fabric.Sharded, cfg *ScaleC
 		if !alive {
 			break
 		}
+		// A severed route (node-scoped partition rule, pure time-window
+		// query) either loses the chunk — a permanent cut breaks the ring
+		// and the downstream receive times out — or, when the cut heals,
+		// the NIC holds the chunk and delivers it after the heal. The
+		// sender does not block (its own mailbox keeps draining); held
+		// chunks are staggered a full hop apart so their arrival order and
+		// the receiver's drain rate are deterministic at any shard count.
+		lost, healAt := false, time.Duration(0)
+		if plan != nil && plan.Severed(g, next, p.Now()) {
+			st.severed++
+			if until, heals := plan.PartitionedUntil(p.Now()); heals && until > p.Now() {
+				healAt = until
+			} else {
+				lost = true
+			}
+		}
 		// Send this step's chunk to the successor — unless the successor is
 		// known dead (pure liveness query; models the NIC's peer-down state).
-		if plan == nil || !plan.RankDead(next, p.Now()) {
+		if !lost && (plan == nil || !plan.RankDead(next, p.Now())) {
 			var lf fabric.LinkFault
 			degraded := false
 			if plan != nil {
@@ -391,7 +417,14 @@ func runScaleRing(p *sim.Proc, eng *sim.Sharded, sf *fabric.Sharded, cfg *ScaleC
 			}
 			msg := ringMsg{val: carry, valid: valid}
 			dst := mail[next]
-			eng.Inject(sh, nextShard, p.Now()+alpha, func() {
+			deliver := p.Now() + alpha
+			if healAt > 0 {
+				held++
+				if d := healAt + time.Duration(held)*(ser+alpha); d > deliver {
+					deliver = d
+				}
+			}
+			eng.Inject(sh, nextShard, deliver, func() {
 				// A stalled (ring-broken) peer may stop draining its
 				// mailbox; dropping models the NIC discarding to a hung
 				// receiver and is deterministic in virtual time.

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"mpixccl/internal/dl"
 	"mpixccl/internal/fault"
 )
 
@@ -138,6 +139,115 @@ func TestScaleFaultDeterminism(t *testing.T) {
 			}
 			tc.check(t, serial)
 		})
+	}
+}
+
+// TestScalePartitionDeterminism extends the cross-shard fault contract to
+// partition rules: a node-scoped cut on the leader ring must produce the
+// same severed counts, verdicts, and virtual clock at 1 and 4 shards. A
+// healing cut delays the ring but completes OK; a permanent cut breaks it.
+func TestScalePartitionDeterminism(t *testing.T) {
+	const us = time.Microsecond
+	cases := []struct {
+		name   string
+		faults func(shard int) *fault.Plan
+		check  func(t *testing.T, r ScaleResult)
+	}{
+		{
+			name: "heal",
+			faults: func(shard int) *fault.Plan {
+				return fault.NewPlan(42).AddPartitionRule(fault.PartitionRule{
+					Name: "node7-cut-heals", Nodes: []int{7},
+					From: 40 * us, Until: 120 * us,
+				})
+			},
+			check: func(t *testing.T, r ScaleResult) {
+				if r.Severed == 0 {
+					t.Errorf("cut window never hit a ring send: %+v", r)
+				}
+				if !r.OK || r.Timeouts != 0 {
+					t.Errorf("healed cut must deliver late, not fail: %+v", r)
+				}
+			},
+		},
+		{
+			name: "permanent",
+			faults: func(shard int) *fault.Plan {
+				return fault.NewPlan(42).AddPartitionRule(fault.PartitionRule{
+					Name: "node7-cut", Nodes: []int{7}, From: 40 * us,
+				})
+			},
+			check: func(t *testing.T, r ScaleResult) {
+				if r.Severed == 0 || r.Timeouts == 0 || r.OK {
+					t.Errorf("permanent cut must break the ring: %+v", r)
+				}
+				if len(r.Crashed) != 0 {
+					t.Errorf("a severed leader is alive, got crashed %v", r.Crashed)
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := ScaleConfig{Ranks: 128, Bytes: 256 << 10, Faults: tc.faults}
+			serial, err := RunScale(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.Shards = 4
+			sharded, err := RunScale(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := stripWall(sharded), stripWall(serial); !reflect.DeepEqual(got, want) {
+				t.Errorf("shards=4: %+v\nserial: %+v", got, want)
+			}
+			tc.check(t, serial)
+		})
+	}
+}
+
+// TestPartitionVerdictsAcrossShards pins the membership layer's partition
+// verdicts — epoch, fence and shrink counters, adopted ranks, and the loss
+// trace — to be identical whether the exhibit world runs on 1 or 4 engine
+// shards.
+func TestPartitionVerdictsAcrossShards(t *testing.T) {
+	model := &dl.Model{Name: "shard-mlp"}
+	for i := 0; i < 8; i++ {
+		model.Tensors = append(model.Tensors, dl.Tensor{Name: "fc", Elems: 128 << 10})
+	}
+	run := func(shards int) dl.ElasticReport {
+		cfg := dl.Config{
+			System: "thetagpu", Nodes: 2, Ranks: 12, Model: model,
+			Steps: 6, CheckpointEvery: 2, Shards: shards,
+		}
+		cfg.Faults = fault.NewPlan(11).AddPartitionRule(fault.PartitionRule{
+			Name: "cut-node1", Nodes: []int{1},
+			From: 80 * time.Millisecond, Until: 150 * time.Millisecond,
+		})
+		rep, err := dl.TrainElastic(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	serial, sharded := run(1), run(4)
+	type verdict struct {
+		Partitions, FencedRanks, Epoch int
+		Shrinks, Grows                 int
+		StartRanks, FinalRanks         int
+		Adopted                        []int
+		Loss                           []float64
+	}
+	v := func(r dl.ElasticReport) verdict {
+		return verdict{r.Partitions, r.FencedRanks, r.Epoch, r.Shrinks, r.Grows,
+			r.StartRanks, r.FinalRanks, r.AdoptedRanks, r.Loss}
+	}
+	if got, want := v(sharded), v(serial); !reflect.DeepEqual(got, want) {
+		t.Errorf("shards=4 verdicts: %+v\nserial: %+v", got, want)
+	}
+	if serial.Partitions != 1 || serial.FencedRanks != 4 || serial.Epoch < 2 {
+		t.Errorf("expected one handled cut with a rejoin, got %+v", serial)
 	}
 }
 

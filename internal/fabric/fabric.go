@@ -14,6 +14,7 @@
 package fabric
 
 import (
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"time"
@@ -98,6 +99,38 @@ type Corrupter interface {
 	CorruptTransfer(class string, srcNode, dstNode int, n int64, now time.Duration) []int64
 }
 
+// Partitioner is the network-partition hook (implemented by fault.Plan
+// with partition rules). The fabric consults Severed per non-local transfer
+// and control message, failing cross-cut traffic fast with ErrPartitioned —
+// a partition is an absence of connectivity, so the failure consumes no
+// virtual time. The membership layer in internal/core consumes the pure
+// rank/time queries to fence minorities and time rejoins.
+type Partitioner interface {
+	// Severed reports whether a node-scoped cut separates srcNode from
+	// dstNode at virtual time now.
+	Severed(srcNode, dstNode int, now time.Duration) bool
+	// RanksSevered reports whether a rank-scoped cut separates world ranks
+	// a and b at now. The fabric routes by node and never calls this; the
+	// membership layer does.
+	RanksSevered(a, b int, now time.Duration) bool
+	// PartitionedNow reports whether any cut is active at now — a cheap
+	// guard before per-pair probes.
+	PartitionedNow(now time.Duration) bool
+	// PartitionedUntil reports when the cuts active at now have all
+	// healed. heals == false means at least one is permanent; no active
+	// cut returns (0, true).
+	PartitionedUntil(now time.Duration) (until time.Duration, heals bool)
+	// HasPartitions reports whether the plan carries any armed partition
+	// rule, without consulting the clock.
+	HasPartitions() bool
+}
+
+// ErrPartitioned is returned by TryTransfer and TryControlMsg when the
+// route crosses an active network cut. Like routing errors it consumes no
+// virtual time: the packets were never going to arrive, and the caller's
+// recovery (abort the schedule, fence, shrink) supplies the time bound.
+var ErrPartitioned = errors.New("fabric: route severed by network partition")
+
 // Integrity configures end-to-end CRC32C verification of data transfers.
 // When enabled, every non-local transfer checksums source and destination
 // after the copy; a mismatch (injected by a Corrupter) triggers a
@@ -127,12 +160,13 @@ type Fabric struct {
 
 	routes map[[2]int]route // memoized per (src.ID, dst.ID) device pair
 
-	faults    any       // attached fault agent (see SetFaults)
-	degrader  Degrader  // faults, when it implements Degrader
-	failstop  FailStop  // faults, when it implements FailStop
-	corrupter Corrupter // faults, when it implements Corrupter
-	integrity Integrity
-	reg       *metrics.Registry
+	faults      any         // attached fault agent (see SetFaults)
+	degrader    Degrader    // faults, when it implements Degrader
+	failstop    FailStop    // faults, when it implements FailStop
+	corrupter   Corrupter   // faults, when it implements Corrupter
+	partitioner Partitioner // faults, when it implements Partitioner
+	integrity   Integrity
+	reg         *metrics.Registry
 }
 
 // SetFaults attaches a fault agent (typically a *fault.Plan) to the
@@ -146,6 +180,7 @@ func (f *Fabric) SetFaults(agent any) {
 	f.degrader, _ = agent.(Degrader)
 	f.failstop, _ = agent.(FailStop)
 	f.corrupter, _ = agent.(Corrupter)
+	f.partitioner, _ = agent.(Partitioner)
 }
 
 // Faults returns the attached fault agent (nil when none).
@@ -154,6 +189,10 @@ func (f *Fabric) Faults() any { return f.faults }
 // FailStop returns the attached fail-stop detector, or nil when the fault
 // agent does not model rank crashes.
 func (f *Fabric) FailStop() FailStop { return f.failstop }
+
+// Partitioner returns the attached partition oracle, or nil when the fault
+// agent does not model network partitions.
+func (f *Fabric) Partitioner() Partitioner { return f.partitioner }
 
 // SetIntegrity configures end-to-end CRC32C checking of data transfers.
 func (f *Fabric) SetIntegrity(i Integrity) { f.integrity = i }
@@ -342,6 +381,9 @@ func (f *Fabric) TryTransfer(p *sim.Proc, dst, src *device.Buffer, n int64, o Op
 		}
 		return p.Now() - start, nil
 	}
+	if f.partitioner != nil && f.partitioner.Severed(r.srcNode, r.dstNode, start) {
+		return 0, ErrPartitioned
+	}
 	alpha := r.link.Alpha
 	bw := r.link.ChannelBW
 	maxCh := r.link.DirChannels
@@ -472,6 +514,9 @@ func (f *Fabric) TryControlMsg(p *sim.Proc, src, dst *device.Device) (time.Durat
 	}
 	if r.local {
 		return 0, nil
+	}
+	if f.partitioner != nil && f.partitioner.Severed(r.srcNode, r.dstNode, p.Now()) {
+		return 0, ErrPartitioned
 	}
 	alpha := r.link.Alpha
 	if lf, ok := f.degradedFor(r, p.Now()); ok && lf.AlphaScale > 0 {

@@ -17,10 +17,19 @@
 //   - fabric.Corrupter — payload-corruption rules (CorruptRule) that flip
 //     bytes of matching fabric data transfers, the silent-data-corruption
 //     model the fabric's CRC32C integrity checking defends against.
+//   - fabric.Partitioner — network-partition rules (PartitionRule) that cut
+//     the fabric along a node or rank-set bipartition over a virtual-time
+//     window, with an optional heal time. The fabric fails cross-cut
+//     transfers fast, and the quorum membership layer in internal/core
+//     (epoch bumps, minority fencing, heal-and-rejoin) consumes the pure
+//     Severed/RanksSevered/PartitionedUntil queries.
 //
 // Determinism: all probabilistic decisions come from one splitmix64 stream
 // seeded at construction, advanced once per probabilistic match, so two
 // plans with the same seed driving the same simulation fire identically.
+// Partition rules draw their Probability coin once, at AddPartitionRule
+// time — an active cut must answer every Severed query the same way no
+// matter which shard (or rank) asks first.
 package fault
 
 import (
@@ -146,6 +155,40 @@ type CorruptRule struct {
 	FlipBytes int
 }
 
+// PartitionRule cuts the fabric into two sides over a virtual-time window,
+// modeling a network partition (a failed spine switch, a mis-pushed ACL, a
+// severed inter-rack cable). Exactly one of Nodes or Ranks names group A of
+// the bipartition; every endpoint pair with exactly one member in group A is
+// severed while the rule is active. Node-scoped rules are enforced by the
+// fabric itself (cross-cut transfers and control messages fail fast with
+// fabric.ErrPartitioned); rank-scoped rules are membership-level cuts
+// consumed by the quorum layer in internal/core and the scale model. From
+// is the moment of the cut and Until the heal time; Until == 0 means the
+// partition never heals.
+type PartitionRule struct {
+	// Name labels the rule for Fired-count introspection.
+	Name string
+	// Nodes names group A of the bipartition by node id. Exactly one of
+	// Nodes/Ranks must be non-empty.
+	Nodes []int
+	// Ranks names group A of the bipartition by world rank.
+	Ranks []int
+	// From is the virtual time of the cut; Until the heal time (0 = the
+	// partition is permanent). Until must be strictly after From.
+	From, Until time.Duration
+	// Probability arms the rule with this chance; 0 means always
+	// (deterministic). Unlike per-call rules the coin is drawn once, at
+	// AddPartitionRule time — a cut is a single event, and every shard
+	// and rank must see the same verdict.
+	Probability float64
+}
+
+type partitionState struct {
+	PartitionRule
+	armed bool // probability draw, taken once at AddPartitionRule
+	fired int  // 1 once the active window has been observed
+}
+
 type ruleState struct {
 	Rule
 	matched int // eligible calls seen (drives After)
@@ -161,20 +204,22 @@ type corruptState struct {
 // Plan is a seeded, concurrency-safe fault plan. The zero value is not
 // usable; construct with NewPlan.
 type Plan struct {
-	mu      sync.Mutex
-	state   uint64
-	rules   []*ruleState
-	links   []LinkRule
-	corrupt []*corruptState
-	dead    map[int]time.Duration // rank -> virtual time of fail-stop
+	mu         sync.Mutex
+	state      uint64
+	rules      []*ruleState
+	links      []LinkRule
+	corrupt    []*corruptState
+	partitions []*partitionState
+	dead       map[int]time.Duration // rank -> virtual time of fail-stop
 }
 
 // Compile-time hook conformance.
 var (
-	_ ccl.Injector     = (*Plan)(nil)
-	_ fabric.Degrader  = (*Plan)(nil)
-	_ fabric.FailStop  = (*Plan)(nil)
-	_ fabric.Corrupter = (*Plan)(nil)
+	_ ccl.Injector       = (*Plan)(nil)
+	_ fabric.Degrader    = (*Plan)(nil)
+	_ fabric.FailStop    = (*Plan)(nil)
+	_ fabric.Corrupter   = (*Plan)(nil)
+	_ fabric.Partitioner = (*Plan)(nil)
 )
 
 // NewPlan returns an empty plan whose probabilistic draws derive from seed.
@@ -301,6 +346,158 @@ func (p *Plan) AddCorruptRule(r CorruptRule) *Plan {
 	return p
 }
 
+// CheckPartitionRule validates a network-partition rule at construction.
+// A heal time at or before the cut, an empty (or doubly-specified) group,
+// or an out-of-range probability are rejected with descriptive errors —
+// partition + crash on the same rank is deliberately allowed, the faults
+// compose (a dead rank stays dead on both sides of the cut).
+func CheckPartitionRule(r PartitionRule) error {
+	n := ruleLabel(r.Name)
+	if len(r.Nodes) == 0 && len(r.Ranks) == 0 {
+		return fmt.Errorf("fault: partition rule %s names neither Nodes nor Ranks: there is no cut to make", n)
+	}
+	if len(r.Nodes) > 0 && len(r.Ranks) > 0 {
+		return fmt.Errorf("fault: partition rule %s names both Nodes and Ranks: a cut follows exactly one boundary", n)
+	}
+	if r.Until != 0 && r.Until <= r.From {
+		return fmt.Errorf("fault: partition rule %s heals at %v, at or before the cut at %v: it would never fire", n, r.Until, r.From)
+	}
+	if r.Probability < 0 || r.Probability > 1 {
+		return fmt.Errorf("fault: partition rule %s has Probability %v outside [0, 1]", n, r.Probability)
+	}
+	return nil
+}
+
+// AddPartitionRule appends a network-partition rule, panicking with a
+// descriptive error if the rule is invalid (use CheckPartitionRule to
+// validate without panicking). The probability coin is drawn here, once —
+// never per query — so the verdict is fixed before the simulation starts
+// and identical across shards. Returns the plan.
+func (p *Plan) AddPartitionRule(r PartitionRule) *Plan {
+	if err := CheckPartitionRule(r); err != nil {
+		panic(err)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ps := &partitionState{PartitionRule: r, armed: true}
+	if r.Probability > 0 && r.Probability < 1 && p.coin() >= r.Probability {
+		ps.armed = false
+	}
+	p.partitions = append(p.partitions, ps)
+	return p
+}
+
+// activePartitionLocked reports whether rule ps is cutting the fabric at
+// now, crediting its Fired count on first observation. Callers hold p.mu.
+func (p *Plan) activePartitionLocked(ps *partitionState, now time.Duration) bool {
+	if !ps.armed || !inWindow(ps.From, ps.Until, now) {
+		return false
+	}
+	if ps.fired == 0 {
+		ps.fired = 1
+	}
+	return true
+}
+
+// splitBy reports whether the group-A set splits endpoints a and b: exactly
+// one of the two is in the set.
+func splitBy(group []int, a, b int) bool {
+	ina, inb := false, false
+	for _, g := range group {
+		if g == a {
+			ina = true
+		}
+		if g == b {
+			inb = true
+		}
+	}
+	return ina != inb
+}
+
+// Severed implements fabric.Partitioner: a node-scoped partition rule
+// active at now cuts the (srcNode, dstNode) route. Rank-scoped rules are
+// invisible here — the fabric routes by node, so rank cuts are enforced at
+// the membership layer through RanksSevered.
+func (p *Plan) Severed(srcNode, dstNode int, now time.Duration) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, ps := range p.partitions {
+		if len(ps.Nodes) == 0 {
+			continue
+		}
+		if splitBy(ps.Nodes, srcNode, dstNode) && p.activePartitionLocked(ps, now) {
+			return true
+		}
+	}
+	return false
+}
+
+// RanksSevered implements fabric.Partitioner: a rank-scoped partition rule
+// active at now cuts the world-rank pair (a, b).
+func (p *Plan) RanksSevered(a, b int, now time.Duration) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, ps := range p.partitions {
+		if len(ps.Ranks) == 0 {
+			continue
+		}
+		if splitBy(ps.Ranks, a, b) && p.activePartitionLocked(ps, now) {
+			return true
+		}
+	}
+	return false
+}
+
+// PartitionedNow implements fabric.Partitioner: any partition rule (node-
+// or rank-scoped) is cutting the fabric at now. Dispatch layers use this as
+// a cheap guard before per-pair Severed probes.
+func (p *Plan) PartitionedNow(now time.Duration) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, ps := range p.partitions {
+		if p.activePartitionLocked(ps, now) {
+			return true
+		}
+	}
+	return false
+}
+
+// PartitionedUntil implements fabric.Partitioner: the virtual time the last
+// partition active at now heals. heals == false means at least one active
+// cut is permanent (Until == 0); no active cut returns (0, true). Fenced
+// ranks sleep on this to time their rejoin.
+func (p *Plan) PartitionedUntil(now time.Duration) (until time.Duration, heals bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	heals = true
+	for _, ps := range p.partitions {
+		if !p.activePartitionLocked(ps, now) {
+			continue
+		}
+		if ps.Until == 0 {
+			return 0, false
+		}
+		if ps.Until > until {
+			until = ps.Until
+		}
+	}
+	return until, heals
+}
+
+// HasPartitions implements fabric.Partitioner: the plan carries at least
+// one armed partition rule. Partition-aware training loops use this to
+// decide whether to poll for regrowth; it never consults the clock.
+func (p *Plan) HasPartitions() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, ps := range p.partitions {
+		if ps.armed {
+			return true
+		}
+	}
+	return false
+}
+
 // AddLinkRule appends a link-degradation window, panicking with a
 // descriptive error if the window is invalid (use CheckLinkRule to validate
 // without panicking). Returns the plan.
@@ -325,6 +522,11 @@ func (p *Plan) Fired(name string) int {
 		}
 	}
 	for _, r := range p.corrupt {
+		if r.Name == name {
+			n += r.fired
+		}
+	}
+	for _, r := range p.partitions {
 		if r.Name == name {
 			n += r.fired
 		}

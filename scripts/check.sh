@@ -29,7 +29,11 @@ scripts/doclinks.sh
 # detector is the proof that cross-shard traffic only moves through the
 # outbox/flush protocol.
 go test -race mpixccl/internal/metrics mpixccl/internal/sim mpixccl/internal/fault mpixccl/internal/fabric mpixccl/internal/core
-go test -race -run 'TestRunAll|TestChaosShort|TestScale' mpixccl/internal/experiments
+# The experiments race leg covers the parallel runner, the chaos soak
+# (short rotation: collective, elastic, and partition schedules; shard
+# invariance pins the partition verdicts at 1 vs 4 shards), and the
+# scale model's cross-shard fault/partition determinism tests.
+go test -race -run 'TestRunAll|TestChaosShort|TestChaosShardInvariant|TestScale|TestPartitionVerdicts' mpixccl/internal/experiments
 # dl's recovery path (watchdog + shrink + rollback) and the persistent hot
 # loop are the dl surfaces with cross-layer shared state; the remaining
 # Train* exhibits are single-kernel and wall-clock heavy, so the race pass
@@ -43,8 +47,10 @@ go test -race -run 'TestHier|TestForcedFlat|TestCollectivePools' mpixccl/interna
 # runs end to end (full baselines come from scripts/bench.sh).
 go test -run '^$' -bench '^BenchmarkFig1aAllreduceCrossover$' -benchtime 1x .
 # Chaos smoke: a short seeded soak through the CLI entry point proves the
-# randomized fault schedules still terminate with every invariant held.
-go run ./cmd/xcclbench -chaos seed=7,runs=4 >/dev/null
+# randomized fault schedules — including two partition schedules in the
+# six-run rotation — still terminate with every invariant held, inside
+# the per-schedule wall-clock deadline.
+go run ./cmd/xcclbench -chaos seed=7,runs=6 >/dev/null
 # Sharded-engine smoke: regenerating an exhibit through the CLI at
 # -shards 4 must be byte-identical to the serial run (wall-time footer
 # lines excluded; the full proof across world constructors is
@@ -57,4 +63,14 @@ if [ "$serial" != "$sharded" ]; then
 	exit 1
 fi
 go run ./cmd/xcclbench -scale ranks=256,shards=2 >/dev/null
+# Partition smoke: the quorum/fence/rejoin exhibit regenerates through the
+# CLI at 1 and 4 shards with identical output. With partitions off the
+# other exhibits are pinned byte-for-byte against the committed golden by
+# TestGoldenVirtualTime in the suite above.
+pserial=$(go run ./cmd/xcclbench -exp partition | grep -v 'wall time')
+psharded=$(go run ./cmd/xcclbench -exp partition -shards 4 | grep -v 'wall time')
+if [ "$pserial" != "$psharded" ]; then
+	echo "check.sh: xcclbench -exp partition diverged at -shards 4" >&2
+	exit 1
+fi
 echo "check.sh: all clean"
