@@ -135,6 +135,32 @@ func BenchmarkFig6MultiNodeCollectivesHier(b *testing.B) {
 	}
 }
 
+// BenchmarkFig6AlltoallLoop measures the pre-compiler Alltoall on the
+// Fig 6 multi-node topology scaled to 4 nodes / 32 ranks with 4 MB
+// blocks: the grouped send-recv loop posts all n-1 puts at once and
+// convoys the inter-node wire.
+func BenchmarkFig6AlltoallLoop(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		virtUS(b, lastLatencyUS(b, omb.Config{System: "thetagpu", Nodes: 4,
+			MinBytes: 4 << 20, MaxBytes: 4 << 20, Iterations: 1,
+			Stack: omb.StackPureXCCL}, omb.Alltoall))
+	}
+}
+
+// BenchmarkFig6AlltoallCompiled reruns the same sweep with the collective
+// compiler on: the cost-model search lowers the alltoall to the phased
+// permutation schedule (rank r talks to rank r^phase, one partner per
+// step), which spreads the inter-node traffic across disjoint pairs. The
+// >= 20% virtual-time win over the loop variant is gated in
+// scripts/bench.sh.
+func BenchmarkFig6AlltoallCompiled(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		virtUS(b, lastLatencyUS(b, omb.Config{System: "thetagpu", Nodes: 4,
+			MinBytes: 4 << 20, MaxBytes: 4 << 20, Iterations: 1,
+			Stack: omb.StackPureXCCL, Compile: true}, omb.Alltoall))
+	}
+}
+
 func dlBench(b *testing.B, cfg dl.Config) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {

@@ -37,7 +37,7 @@ import (
 
 func main() {
 	bench := flag.String("bench", "allreduce",
-		"latency|bw|bibw (pt2pt) or allreduce|reduce|bcast|alltoall|allgather (collective)")
+		"latency|bw|bibw (pt2pt) or allreduce|reduce|bcast|alltoall|allgather|gather|scatter (collective)")
 	system := flag.String("system", "thetagpu", "thetagpu|mri|voyager")
 	nodes := flag.Int("nodes", 1, "node count")
 	ranks := flag.Int("ranks", 0, "total ranks (0 = one per device)")
@@ -59,6 +59,8 @@ func main() {
 		"collective watchdog deadline used when -crash is set (bounds dead-peer detection)")
 	persistent := flag.Bool("persistent", false,
 		"allreduce on persistent handles (MPI_Allreduce_init-style; hybrid/pure-xccl stacks)")
+	compile := flag.Bool("compile", false,
+		"run synthesized collectives (alltoall/gather/scatter) through compiled plans (hybrid/pure-xccl stacks)")
 	flag.Parse()
 
 	var reg *metrics.Registry
@@ -69,7 +71,7 @@ func main() {
 		System: *system, Nodes: *nodes, Ranks: *ranks, Shards: *shards,
 		Stack: omb.Stack(*stack), Backend: core.BackendKind(*backend),
 		MinBytes: *min, MaxBytes: *max, Iterations: *iters, Metrics: reg,
-		Persistent: *persistent,
+		Persistent: *persistent, Compile: *compile,
 	}
 	var plan *fault.Plan
 	if *crash != "" {
@@ -110,7 +112,7 @@ func main() {
 		for _, r := range res {
 			fmt.Printf("%-12d %-14.2f %-14.2f\n", r.Bytes, us(r), r.BandwidthMBs)
 		}
-	case "allreduce", "reduce", "bcast", "alltoall", "allgather":
+	case "allreduce", "reduce", "bcast", "alltoall", "allgather", "gather", "scatter":
 		res, err := omb.RunCollective(cfg, omb.Collective(*bench))
 		if err != nil {
 			fatal(err)

@@ -7,6 +7,7 @@
 //	xcclbench -exp all -scale full # the paper's full configurations
 //	xcclbench -exp all -parallel 1 # force a serial run
 //	xcclbench -exp fig6 -hier      # hierarchical collectives on the hybrid series
+//	xcclbench -exp fig6 -compile   # compiled plans for the synthesized collectives
 //	xcclbench -scale ranks=4096,shards=4  # parallel-engine scaling sweep
 //	xcclbench -list                # enumerate experiment ids
 //
@@ -71,6 +72,8 @@ func main() {
 		"run the hybrid-xCCL series with topology-aware hierarchical collectives (multi-node exhibits)")
 	persistent := flag.Bool("persistent", false,
 		"run the hybrid-xCCL series of the Horovod exhibits (fig7-fig10) on persistent partitioned allreduce handles")
+	compile := flag.Bool("compile", false,
+		"run the xCCL series with the collective compiler: cost-model-compiled plans for alltoall(v)/gather/scatter instead of the group send-recv loop")
 	chaos := flag.String("chaos", "",
 		"run the chaos soak instead of exhibits, as seed=N[,runs=M] (e.g. seed=7,runs=4)")
 	chaosDeadline := flag.Duration("chaos-deadline", 0,
@@ -81,6 +84,7 @@ func main() {
 
 	experiments.SetHierarchical(*hier)
 	experiments.SetPersistent(*persistent)
+	experiments.SetCompile(*compile)
 	experiments.SetShards(*shards)
 
 	if *crash != "" {

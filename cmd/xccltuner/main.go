@@ -7,6 +7,11 @@
 //
 //	xccltuner -system thetagpu -nodes 1 > thetagpu-nccl.json
 //	xccltuner -system mri -nodes 8 -backend rccl -o mri-rccl.json
+//	xccltuner -system thetagpu -nodes 4 -ops alltoall,scatter,gather
+//
+// The emitted table is schema v3: bands carry the winning compiled-plan
+// strategy key for the synthesized collectives alongside the path, the
+// algorithm family, and the pipeline chunk.
 package main
 
 import (
@@ -56,6 +61,8 @@ func main() {
 		"comma-separated hierarchical pipeline chunk sizes to sweep, K/M suffixes allowed (default 256K,1M)")
 	noAlgo := flag.Bool("no-algo-sweep", false,
 		"restrict tuning to the binary MPI/CCL decision (v1 behavior)")
+	opsFlag := flag.String("ops", "",
+		"comma-separated collectives to tune (default: all of allreduce,reduce,bcast,alltoall,allgather,gather,scatter)")
 	out := flag.String("o", "", "output file (default stdout)")
 	flag.Parse()
 
@@ -64,12 +71,18 @@ func main() {
 		fmt.Fprintf(os.Stderr, "xccltuner: %v\n", err)
 		os.Exit(2)
 	}
+	var ops []omb.Collective
+	if *opsFlag != "" {
+		for _, o := range strings.Split(*opsFlag, ",") {
+			ops = append(ops, omb.Collective(strings.TrimSpace(o)))
+		}
+	}
 	table, err := omb.Tune(omb.Config{
 		System: *system, Nodes: *nodes, Ranks: *ranks,
 		Backend:  core.BackendKind(*backend),
 		MinBytes: *min, MaxBytes: *max, Iterations: 2,
 		ChunkSweep: chunks, NoAlgoSweep: *noAlgo,
-	}, nil)
+	}, ops)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "xccltuner: %v\n", err)
 		os.Exit(1)

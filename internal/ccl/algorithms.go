@@ -434,7 +434,7 @@ func (rc *runCtx) ringAllGather(dt Datatype, count int) {
 	for step := 0; step < n-1; step++ {
 		sendSeg := (rc.rank - step + n) % n
 		recvSeg := (rc.rank - step - 1 + 2*n) % n
-		sent := rc.putAsync(right, a.recv.Slice(int64(sendSeg)*bytes, bytes), bytes, slotBytes)
+		sent := rc.putAsync(right, rc.slice(a.recv, int64(sendSeg)*bytes, bytes), bytes, slotBytes)
 		slot, buf := rc.get(left, slotBytes)
 		copy(a.recv.Bytes()[int64(recvSeg)*bytes:(int64(recvSeg)+1)*bytes], buf.Bytes()[:bytes])
 		rc.p.Sleep(rc.dev().CopyTime(bytes))

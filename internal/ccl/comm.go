@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"mpixccl/internal/ccl/comp"
 	"mpixccl/internal/device"
 	"mpixccl/internal/fabric"
 	"mpixccl/internal/metrics"
@@ -37,6 +38,14 @@ type core struct {
 	putNames map[[2]int]string // memoized putAsync process names
 
 	hierCache *hierPlan // lazily built node hierarchy (see hier.go)
+
+	// Compiled-plan caches (see compiled.go): the cost-model topology, the
+	// plans per (op, block, root, key) call shape, and the converted MSCCL
+	// schedules per (algo, count, element size). Lazily built; safe without
+	// locks under the cooperative scheduler.
+	compTopoCache *comp.Topo
+	compPlans     map[compPlanKey]*comp.Plan
+	customPlans   map[customPlanKey]*customPlan
 
 	// persist holds in-flight persistent-op Init rendezvous, keyed by each
 	// rank's persistent-op ordinal (ranks must Init handles in the same
@@ -381,12 +390,23 @@ type opState struct {
 	// stayed on one side and "succeeded" with partial data. Each rank
 	// raises it as its async verdict when its schedule task finishes.
 	abortErr error
+	// scratch is per-rank staging space a compiled plan requested
+	// (comp.Plan.Scratch); allocated by the first rank to execute the
+	// plan, freed with the op. Nil entries mean the rank needs none.
+	scratch []*device.Buffer
+	// vplan is the alltoallv move program built at run time from every
+	// rank's counts (first arriving rank builds it; see compiled.go).
+	vplan any
 }
 
 type opArgs struct {
 	send, recv *device.Buffer
 	count      int
 	root       int
+	// Vector-collective shapes (alltoallv): per-peer element counts and
+	// displacements. The compiled executor reads every rank's counts after
+	// the start rendezvous to build the move program.
+	scounts, sdispls, rcounts, rdispls []int
 }
 
 // join registers rank args for collective #seq and returns the shared state.
@@ -415,6 +435,12 @@ func (co *core) finish(st *opState) {
 				s.Free()
 			}
 		}
+		for _, b := range st.scratch {
+			if b != nil {
+				b.Free()
+			}
+		}
+		st.scratch = nil
 		for i, a := range st.args {
 			if a != nil {
 				st.args[i] = nil
@@ -469,11 +495,22 @@ type runCtx struct {
 	// process's resident async-put helper (replacing per-step Spawns).
 	pers   *persistState
 	sender *persistSender
+
+	// chunk overrides the fabric pipeline granularity for this context's
+	// transfers (compiled plans carry a searched chunk size; 0 = backend
+	// default).
+	chunk int64
 }
 
 func (rc *runCtx) dev() *device.Device { return rc.co.devs[rc.rank] }
 
-func (rc *runCtx) opts() fabric.Opts { return rc.co.fabOpts() }
+func (rc *runCtx) opts() fabric.Opts {
+	o := rc.co.fabOpts()
+	if rc.chunk > 0 {
+		o.ChunkBytes = rc.chunk
+	}
+	return o
+}
 
 // fabOpts builds the transfer options, honoring any channel-budget cap the
 // dispatch layer applied for a degraded link.

@@ -3,8 +3,7 @@ package ccl
 import (
 	"fmt"
 
-	"mpixccl/internal/device"
-	"mpixccl/internal/sim"
+	"mpixccl/internal/ccl/comp"
 )
 
 // Custom collective schedules: a small interpreter for MSCCL-style
@@ -116,65 +115,68 @@ func (co *core) findAlgo(collective string, bytes int64) *Algo {
 	return nil
 }
 
-// runCustom interprets the schedule for this rank, operating on the recv
-// buffer (which already holds the rank's contribution).
-func (rc *runCtx) runCustom(a *Algo, dt Datatype, op RedOp, count int) {
+// customPlanKey caches converted schedules per call shape.
+type customPlanKey struct {
+	algo  *Algo
+	count int
+	esz   int64
+}
+
+// customPlan is a converted MSCCL schedule: the unified-executor plan plus
+// the staged pipe slot size (the largest chunk).
+type customPlan struct {
+	plan *comp.Plan
+	slot int64
+}
+
+// customPlan converts a registered MSCCL schedule into a compiled plan:
+// each step becomes one unfenced phase, each chunk transfer a staged
+// recv-buffer move (SrcBytes carries the source chunk length when
+// segBounds splits the payload unevenly). The conversion preserves the
+// historical interpreter's exact execution — same per-destination sender
+// processes, per-pair FIFO order, flow-control credits, and virtual-time
+// charges — so converted schedules stay byte-identical with the goldens.
+func (co *core) customPlan(a *Algo, count int, esz int64) *customPlan {
+	if co.customPlans == nil {
+		co.customPlans = map[customPlanKey]*customPlan{}
+	}
+	k := customPlanKey{algo: a, count: count, esz: esz}
+	if cp, ok := co.customPlans[k]; ok {
+		return cp
+	}
 	bounds := segBounds(count, a.NChunks)
-	esz := int64(dt.Size())
 	maxChunk := int64(bounds[1]-bounds[0]) * esz
 	if maxChunk == 0 {
 		maxChunk = esz
 	}
-	chunk := func(r, idx int) *device.Buffer {
-		off := int64(bounds[idx]) * esz
-		ln := int64(bounds[idx+1]-bounds[idx]) * esz
-		return rc.st.args[r].recv.Slice(off, ln)
-	}
-	for _, step := range a.Steps {
-		// Group outgoing transfers by destination so per-pair FIFO order
-		// matches the receiver's consumption order.
-		outs := make(map[int][]ChunkXfer)
-		var dests []int
-		var ins []ChunkXfer
-		for _, x := range step.Xfers {
-			if x.From == rc.rank {
-				if len(outs[x.To]) == 0 {
-					dests = append(dests, x.To)
-				}
-				outs[x.To] = append(outs[x.To], x)
-			}
-			if x.To == rc.rank {
-				ins = append(ins, x)
-			}
-		}
-		k := rc.p.Kernel()
-		counter := sim.NewCounter(k, len(dests))
-		for _, to := range dests {
-			to := to
-			xs := outs[to]
-			k.Spawn(fmt.Sprintf("custom/%s/r%d-%d", a.Name, rc.rank, to), func(cp *sim.Proc) {
-				sub := &runCtx{co: rc.co, st: rc.st, rank: rc.rank, p: cp}
-				for _, x := range xs {
-					src := chunk(rc.rank, x.SrcChunk)
-					sub.put(to, src, src.Len(), maxChunk)
-				}
-				counter.Done()
+	plan := &comp.Plan{Op: "custom/" + a.Name, Key: "msccl", Ranks: a.Ranks,
+		Phases: make([]comp.Phase, len(a.Steps)), PipeDepth: 1}
+	for si, stp := range a.Steps {
+		for _, x := range stp.Xfers {
+			plan.Phases[si].Moves = append(plan.Phases[si].Moves, comp.Move{
+				From: x.From, To: x.To,
+				SrcBuf: comp.RecvBuf, SrcOff: int64(bounds[x.SrcChunk]) * esz,
+				DstBuf: comp.RecvBuf, DstOff: int64(bounds[x.DstChunk]) * esz,
+				Bytes:    int64(bounds[x.DstChunk+1]-bounds[x.DstChunk]) * esz,
+				SrcBytes: int64(bounds[x.SrcChunk+1]-bounds[x.SrcChunk]) * esz,
+				Reduce:   x.Kind == ReduceOp, Staged: true,
 			})
 		}
-		for _, x := range ins {
-			slot, buf := rc.get(x.From, maxChunk)
-			dst := chunk(rc.rank, x.DstChunk)
-			n := dst.Len()
-			if x.Kind == ReduceOp {
-				rc.reduceInto(op, dt, dst, buf.Slice(0, n), int(n/esz))
-			} else {
-				copy(dst.Bytes(), buf.Bytes()[:n])
-				rc.p.Sleep(rc.dev().CopyTime(n))
-			}
-			rc.release(x.From, slot, maxChunk)
-		}
-		counter.Wait(rc.p)
 	}
+	cp := &customPlan{plan: plan, slot: maxChunk}
+	co.customPlans[k] = cp
+	return cp
+}
+
+// runCustom executes the schedule for this rank, operating on the recv
+// buffer (which already holds the rank's contribution). The schedule is
+// converted to a compiled plan and runs through the unified executor
+// (compiled.go) with the interpreter's historical process names.
+func (rc *runCtx) runCustom(a *Algo, dt Datatype, op RedOp, count int) {
+	cp := rc.co.customPlan(a, count, int64(dt.Size()))
+	rc.runPlan(cp.plan, dt, op, cp.slot, func(from, to, _ int) string {
+		return fmt.Sprintf("custom/%s/r%d-%d", a.Name, from, to)
+	})
 }
 
 // AllPairsAllReduce generates the MSCCL "allpairs" allreduce schedule for n

@@ -363,9 +363,18 @@ func (rc *runCtx) hierBroadcast(dt Datatype, count, root int, chunkBytes int64) 
 	rootNode := hp.nodeIdx[root]
 	reps := hp.leaders
 	if hp.leaders[rootNode] != root {
-		reps = make([]int, len(hp.leaders))
-		copy(reps, hp.leaders)
-		reps[rootNode] = root
+		// The root stands in for its node's leader. Persistent schedules
+		// memoize the substituted group — the root never changes per handle.
+		if rc.pers != nil && rc.pers.reps != nil {
+			reps = rc.pers.reps
+		} else {
+			reps = make([]int, len(hp.leaders))
+			copy(reps, hp.leaders)
+			reps[rootNode] = root
+			if rc.pers != nil {
+				rc.pers.reps = reps
+			}
+		}
 	}
 	locals := hp.locals[hp.nodeIdx[rc.rank]]
 	li := hp.localIdx[rc.rank]
@@ -419,8 +428,8 @@ func (rc *runCtx) hierAllGather(dt Datatype, count int, chunkBytes int64) {
 	if li != 0 {
 		// Phase A: deliver my block straight into the leader's recv at its
 		// final offset, then wait for the assembled result (phase C).
-		rc.putDirect(leader, rc.st.args[leader].recv.Slice(int64(rc.rank)*blk, blk),
-			a.recv.Slice(int64(rc.rank)*blk, blk), blk)
+		rc.putDirect(leader, rc.slice(rc.st.args[leader].recv, int64(rc.rank)*blk, blk),
+			rc.slice(a.recv, int64(rc.rank)*blk, blk), blk)
 		rc.hierAllGatherFanIn(locals, li, int64(rc.co.n)*blk, chunkBytes)
 		return
 	}
@@ -429,7 +438,9 @@ func (rc *runCtx) hierAllGather(dt Datatype, count int, chunkBytes int64) {
 	}
 	// Phase B: m-1 ring steps; step s forwards the block-set of node
 	// (idx-s) to the right while receiving node (idx-s-1) from the left.
-	// Sends run on a helper process so the ring stays full duplex.
+	// Sends run on a helper process so the ring stays full duplex — the
+	// resident forwarder of a persistent handle, or a per-step spawn on the
+	// one-shot path.
 	if m > 1 {
 		right := hp.leaders[(ni+1)%m]
 		left := hp.leaders[(ni-1+m)%m]
@@ -437,16 +448,22 @@ func (rc *runCtx) hierAllGather(dt Datatype, count int, chunkBytes int64) {
 		for step := 0; step < m-1; step++ {
 			srcNode := (ni - step + m) % m
 			inNode := (ni - step - 1 + 2*m) % m
-			sent := sim.NewCounter(rc.p.Kernel(), 1)
-			rc.p.Kernel().Spawn(co.putName(rank, right), func(p *sim.Proc) {
-				sub := co.getCtx(st, rank, p)
-				for _, r := range hp.locals[srcNode] {
-					sub.putDirect(right, st.args[right].recv.Slice(int64(r)*blk, blk),
-						st.args[rank].recv.Slice(int64(r)*blk, blk), blk)
-				}
-				co.putCtx(sub)
-				sent.Done()
-			})
+			var sent *sim.Counter
+			if rc.pers != nil && rc.pers.fwd != nil {
+				sent = rc.pers.fwd.post(srcNode)
+			} else {
+				oneShot := sim.NewCounter(rc.p.Kernel(), 1)
+				rc.p.Kernel().Spawn(co.putName(rank, right), func(p *sim.Proc) {
+					sub := co.getCtx(st, rank, p)
+					for _, r := range hp.locals[srcNode] {
+						sub.putDirect(right, st.args[right].recv.Slice(int64(r)*blk, blk),
+							st.args[rank].recv.Slice(int64(r)*blk, blk), blk)
+					}
+					co.putCtx(sub)
+					oneShot.Done()
+				})
+				sent = oneShot
+			}
 			for range hp.locals[inNode] {
 				rc.waitDirect(left)
 			}

@@ -50,6 +50,12 @@ type persistState struct {
 	bounds map[[2]int][]int
 	gate   *partGate      // nil unless the handle is partitioned
 	eng    *persistEngine // nil unless this rank is a hierarchical leader
+	// reps memoizes hierBroadcast's root-substituted representative group
+	// (allocated on the first wave when the root is not its node's leader).
+	reps []int
+	// fwd is the hierarchical allgather leader's resident block-set
+	// forwarder (nil elsewhere).
+	fwd *persistForwarder
 }
 
 // slice returns a view of b[off, off+n), memoized on the persistent
@@ -209,16 +215,96 @@ type persistEngine struct {
 	done  []*sim.Event
 }
 
+// persistForwarder is a resident helper running one preset send routine
+// per posted job — the hierarchical allgather leader's per-step block-set
+// forwarding — replacing the per-step process (and latch) spawn of the
+// one-shot path. At most one job is outstanding at a time.
+type persistForwarder struct {
+	jobs *sim.Chan[int]
+	done *sim.Counter
+}
+
+func newPersistForwarder(co *core, st *opState, rank int, ps *persistState,
+	name string, run func(rc *runCtx, job int)) *persistForwarder {
+	k := co.fab.Kernel()
+	fw := &persistForwarder{jobs: sim.NewChan[int](k, 1), done: sim.NewCounter(k, 0)}
+	rc := &runCtx{co: co, st: st, rank: rank, pers: ps}
+	k.SpawnDaemon(name, func(p *sim.Proc) {
+		rc.p = p
+		for {
+			j := fw.jobs.Recv(p)
+			run(rc, j)
+			fw.done.Done()
+		}
+	})
+	return fw
+}
+
+func (fw *persistForwarder) post(job int) *sim.Counter {
+	fw.done.Reset(1)
+	fw.jobs.TrySend(job)
+	return fw.done
+}
+
 // persistShared is the cross-rank Init rendezvous record: the i-th
-// AllReduceInit of every rank joins the same shared op state. Ranks must
-// create persistent ops in the same order, like collectives themselves.
+// persistent Init of every rank joins the same shared op state. Ranks must
+// create persistent ops in the same order, like collectives themselves,
+// and the i-th Init must be the same collective kind on every rank.
 type persistShared struct {
 	st     *opState
+	kind   string
 	count  int
 	dt     Datatype
 	op     RedOp
 	parts  int
+	root   int
 	joined int
+}
+
+// persistJoin runs the cross-rank Init rendezvous for the caller's next
+// persistent op, validating argument agreement across ranks.
+func (c *Comm) persistJoin(kind string, count int, dt Datatype, op RedOp, parts, root int) (*persistShared, int, error) {
+	co := c.core
+	id := c.pseq
+	c.pseq++
+	ps, ok := co.persist[id]
+	if !ok {
+		ps = &persistShared{
+			st: &opState{
+				seq:   -(id + 1), // outside the one-shot sequence space
+				args:  make([]*opArgs, co.n),
+				start: sim.NewBarrier(co.fab.Kernel(), co.n),
+				pipes: make(map[[2]int]*pipe),
+			},
+			kind: kind, count: count, dt: dt, op: op, parts: parts, root: root,
+		}
+		co.persist[id] = ps
+	} else if ps.kind != kind || ps.count != count || ps.dt != dt || ps.op != op ||
+		ps.parts != parts || ps.root != root {
+		return nil, 0, &Error{Backend: co.cfg.Name, Result: ErrInvalidArgument, Op: kind + "-init",
+			Rank: c.rank, Msg: fmt.Sprintf("persistent op #%d: mismatched arguments across ranks", id)}
+	}
+	ps.joined++
+	if ps.joined == co.n {
+		delete(co.persist, id) // rendezvous complete; state lives in the handles
+	}
+	return ps, id, nil
+}
+
+// persistStartWait runs a wave's start rendezvous under the collective
+// watchdog; false means the wave was judged dead and the verdict raised.
+func (c *Comm) persistStartWait(rc *runCtx, st *opState, op string) bool {
+	co := c.core
+	if co.watchdog > 0 {
+		if st.aborted || !st.start.WaitTimeout(rc.p, co.watchdog) {
+			st.aborted = true
+			c.raiseAsync(co.deadVerdict(op, rc.p.Now()))
+			return false
+		}
+	} else {
+		st.start.Wait(rc.p)
+	}
+	return true
 }
 
 // PersistentColl is one rank's handle on a persistent collective. The
@@ -236,6 +322,7 @@ type PersistentColl struct {
 	task  *device.PersistentTask
 	pers  *persistState
 	algo  Algorithm
+	op    string // collective kind, for fault-hook probes and task names
 	parts int
 	ev    *sim.Event // completion event of the wave in flight
 	freed bool
@@ -272,27 +359,9 @@ func (c *Comm) AllReduceInitPartitioned(send, recv *device.Buffer, count int, dt
 	}
 
 	// Init rendezvous: the i-th Init of every rank joins one shared state.
-	id := c.pseq
-	c.pseq++
-	ps, ok := co.persist[id]
-	if !ok {
-		ps = &persistShared{
-			st: &opState{
-				seq:   -(id + 1), // outside the one-shot sequence space
-				args:  make([]*opArgs, co.n),
-				start: sim.NewBarrier(co.fab.Kernel(), co.n),
-				pipes: make(map[[2]int]*pipe),
-			},
-			count: count, dt: dt, op: op, parts: parts,
-		}
-		co.persist[id] = ps
-	} else if ps.count != count || ps.dt != dt || ps.op != op || ps.parts != parts {
-		return nil, &Error{Backend: co.cfg.Name, Result: ErrInvalidArgument, Op: "allreduce-init",
-			Rank: c.rank, Msg: fmt.Sprintf("persistent op #%d: mismatched arguments across ranks", id)}
-	}
-	ps.joined++
-	if ps.joined == co.n {
-		delete(co.persist, id) // rendezvous complete; state lives in the handles
+	ps, id, err := c.persistJoin("allreduce", count, dt, op, parts, 0)
+	if err != nil {
+		return nil, err
 	}
 	st := ps.st
 	st.args[c.rank] = &opArgs{send: send, recv: recv, count: count} // owned by the handle, never pooled
@@ -359,21 +428,15 @@ func (c *Comm) AllReduceInitPartitioned(send, recv *device.Buffer, count int, dt
 		}
 	}
 
-	pc := &PersistentColl{c: c, st: st, pers: pstate, algo: algo, parts: parts}
+	pc := &PersistentColl{c: c, st: st, pers: pstate, algo: algo, op: "allreduce", parts: parts}
 	name := fmt.Sprintf("%s/allreduce-persist%d/r%d", co.cfg.Name, id, c.rank)
 	chunkArg := chunk
 	pc.task = s.NewPersistentTask(name, func(p *sim.Proc) {
 		rcMain.p = p
 		c.delay(p, "allreduce")
 		rcMain.launch(bytes)
-		if co.watchdog > 0 {
-			if st.aborted || !st.start.WaitTimeout(p, co.watchdog) {
-				st.aborted = true
-				c.raiseAsync(co.deadVerdict("allreduce", p.Now()))
-				return
-			}
-		} else {
-			st.start.Wait(p)
+		if !c.persistStartWait(rcMain, st, "allreduce") {
+			return
 		}
 		a := st.args[c.rank]
 		if co.n == 1 {
@@ -402,13 +465,139 @@ func (c *Comm) AllReduceInitPartitioned(send, recv *device.Buffer, count int, dt
 	return pc, nil
 }
 
+// BcastInit builds a persistent broadcast handle (the MPI_Bcast_init
+// analogue): validation, schedule selection (binomial tree, or the chunked
+// hierarchical fan-out when forced on a multi-node shape), and scratch-pipe
+// setup run once; steady-state waves replay the schedule allocation-free.
+// Every rank must call Init with consistent arguments and in the same
+// handle order. Broadcast handles are not partitionable (only the root
+// produces payload).
+func (c *Comm) BcastInit(send, recv *device.Buffer, count int, dt Datatype, root int, s *device.Stream) (*PersistentColl, error) {
+	co := c.core
+	if err := c.validateArgs("broadcast", send, recv, count, dt, nil, root); err != nil {
+		return nil, err
+	}
+	ps, id, err := c.persistJoin("broadcast", count, dt, Sum, 1, root)
+	if err != nil {
+		return nil, err
+	}
+	st := ps.st
+	st.args[c.rank] = &opArgs{send: send, recv: recv, count: count, root: root}
+
+	bytes := int64(count) * int64(dt.Size())
+	algo, chunk := c.resolveAlgo(count)
+	if algo != AlgoHierarchical {
+		algo = AlgoTree // broadcast's flat schedule is always the binomial tree
+	}
+	pstate := &persistState{
+		slices: make(map[sliceKey]*device.Buffer),
+		bounds: make(map[[2]int][]int),
+	}
+	rcMain := &runCtx{co: co, st: st, rank: c.rank, pers: pstate}
+	pc := &PersistentColl{c: c, st: st, pers: pstate, algo: algo, op: "broadcast", parts: 1}
+	pc.task = s.NewPersistentTask(fmt.Sprintf("%s/broadcast-persist%d/r%d", co.cfg.Name, id, c.rank),
+		func(p *sim.Proc) {
+			rcMain.p = p
+			c.delay(p, "broadcast")
+			rcMain.launch(bytes)
+			if !c.persistStartWait(rcMain, st, "broadcast") {
+				return
+			}
+			if algo == AlgoHierarchical && co.n > 1 {
+				rcMain.hierBroadcast(dt, count, root, chunk)
+			} else {
+				rcMain.treeBroadcast(dt, count, root)
+			}
+			if st.abortErr != nil {
+				c.raiseAsync(st.abortErr)
+			}
+		})
+	return pc, nil
+}
+
+// AllgatherInit builds a persistent allgather handle (MPI_Allgather_init):
+// the block ring, or the hierarchical leader-ring schedule when forced on a
+// multi-node shape. The ring's asynchronous block forwarding runs on a
+// resident sender daemon, and a hierarchical leader's per-step block-set
+// sends run on a resident forwarder, so steady-state waves spawn no
+// processes and allocate nothing.
+func (c *Comm) AllgatherInit(send, recv *device.Buffer, count int, dt Datatype, s *device.Stream) (*PersistentColl, error) {
+	co := c.core
+	if err := c.validateArgs("allgather", send, nil, count, dt, nil, 0); err != nil {
+		return nil, err
+	}
+	esz := int64(dt.Size())
+	bytes := int64(count) * esz
+	if recv.Len() < bytes*int64(co.n) {
+		return nil, &Error{Backend: co.cfg.Name, Result: ErrInvalidArgument, Op: "allgather-init",
+			Rank: c.rank, Msg: "allgather recv buffer too small"}
+	}
+	ps, id, err := c.persistJoin("allgather", count, dt, Sum, 1, 0)
+	if err != nil {
+		return nil, err
+	}
+	st := ps.st
+	st.args[c.rank] = &opArgs{send: send, recv: recv, count: count}
+
+	algo, chunk := c.resolveAlgo(count)
+	if algo != AlgoHierarchical {
+		algo = AlgoFlatRing // allgather's flat schedule is the block ring
+	}
+	pstate := &persistState{
+		slices: make(map[sliceKey]*device.Buffer),
+		bounds: make(map[[2]int][]int),
+	}
+	rcMain := &runCtx{co: co, st: st, rank: c.rank, pers: pstate}
+	if algo == AlgoFlatRing && co.n > 1 {
+		rcMain.sender = newPersistSender(co, st, c.rank, pstate,
+			fmt.Sprintf("%s/persist%d/sender/r%d", co.cfg.Name, id, c.rank))
+	}
+	if algo == AlgoHierarchical {
+		hp := co.hier()
+		if hp.localIdx[c.rank] == 0 && len(hp.leaders) > 1 {
+			// Resident phase-B forwarder: per step, ship one node's
+			// block-set to the right-hand leader (hierAllGather posts the
+			// source node index as the job).
+			blk := bytes
+			pstate.fwd = newPersistForwarder(co, st, c.rank, pstate,
+				fmt.Sprintf("%s/persist%d/hier/fwd/r%d", co.cfg.Name, id, c.rank),
+				func(rc *runCtx, srcNode int) {
+					right := hp.leaders[(hp.nodeIdx[rc.rank]+1)%len(hp.leaders)]
+					for _, r := range hp.locals[srcNode] {
+						rc.putDirect(right, rc.slice(rc.st.args[right].recv, int64(r)*blk, blk),
+							rc.slice(rc.st.args[rc.rank].recv, int64(r)*blk, blk), blk)
+					}
+				})
+		}
+	}
+	pc := &PersistentColl{c: c, st: st, pers: pstate, algo: algo, op: "allgather", parts: 1}
+	pc.task = s.NewPersistentTask(fmt.Sprintf("%s/allgather-persist%d/r%d", co.cfg.Name, id, c.rank),
+		func(p *sim.Proc) {
+			rcMain.p = p
+			c.delay(p, "allgather")
+			rcMain.launch(bytes)
+			if !c.persistStartWait(rcMain, st, "allgather") {
+				return
+			}
+			if algo == AlgoHierarchical && co.n > 1 {
+				rcMain.hierAllGather(dt, count, chunk)
+			} else {
+				rcMain.ringAllGather(dt, count)
+			}
+			if st.abortErr != nil {
+				c.raiseAsync(st.abortErr)
+			}
+		})
+	return pc, nil
+}
+
 // Start launches one execution of the pre-built schedule on the stream
 // without blocking. The previous execution must have been Waited. Fault
 // hooks are probed per Start, exactly as per one-shot call: a fail-stopped
 // rank's Start fails fast with ErrRankDead and never joins the wave its
 // surviving peers will time out on.
 func (pc *PersistentColl) Start() error {
-	if err := pc.c.inject("allreduce"); err != nil {
+	if err := pc.c.inject(pc.op); err != nil {
 		return err
 	}
 	if g := pc.pers.gate; g != nil {

@@ -10,6 +10,7 @@ import (
 	"runtime/debug"
 	"testing"
 
+	"mpixccl/internal/device"
 	"mpixccl/internal/fabric"
 	"mpixccl/internal/sim"
 	"mpixccl/internal/topology"
@@ -25,7 +26,8 @@ import (
 // (every rank parked at a barrier between reads), with GC disabled so
 // background collection cannot perturb the counter.
 
-func measurePersistentWaveAllocs(t *testing.T, nodes, nranks, count, parts int, algo Algorithm) {
+func measureWaveAllocs(t *testing.T, nodes, nranks int, algo Algorithm,
+	init func(c *Comm, s *device.Stream) (*PersistentColl, error)) {
 	t.Helper()
 	const warmWaves = 3
 	const measured = 8
@@ -46,10 +48,8 @@ func measurePersistentWaveAllocs(t *testing.T, nodes, nranks, count, parts int, 
 		c := comms[r]
 		k.Spawn("rank", func(p *sim.Proc) {
 			s := c.Device().NewStream()
-			send := c.Device().MustMalloc(int64(count) * 4)
-			recv := c.Device().MustMalloc(int64(count) * 4)
 			c.SetAlgorithm(algo, 0)
-			po, err := c.AllReduceInitPartitioned(send, recv, count, Float32, Sum, parts, s)
+			po, err := init(c, s)
 			if err != nil {
 				t.Errorf("init: %v", err)
 				return
@@ -82,6 +82,16 @@ func measurePersistentWaveAllocs(t *testing.T, nodes, nranks, count, parts int, 
 	}
 }
 
+// measurePersistentWaveAllocs keeps the historical allreduce entry point.
+func measurePersistentWaveAllocs(t *testing.T, nodes, nranks, count, parts int, algo Algorithm) {
+	t.Helper()
+	measureWaveAllocs(t, nodes, nranks, algo, func(c *Comm, s *device.Stream) (*PersistentColl, error) {
+		send := c.Device().MustMalloc(int64(count) * 4)
+		recv := c.Device().MustMalloc(int64(count) * 4)
+		return c.AllReduceInitPartitioned(send, recv, count, Float32, Sum, parts, s)
+	})
+}
+
 func TestPersistentSteadyStateAllocFreeTree(t *testing.T) {
 	measurePersistentWaveAllocs(t, 1, 4, 1024, 1, AlgoTree)
 }
@@ -100,4 +110,39 @@ func TestPersistentSteadyStateAllocFreePartitionedHier(t *testing.T) {
 
 func TestPersistentSteadyStateAllocFreePartitionedTree(t *testing.T) {
 	measurePersistentWaveAllocs(t, 1, 4, 1024, 4, AlgoTree)
+}
+
+// The same zero-alloc contract for the persistent broadcast handles (tree
+// and chunked hierarchical fan-out, including the root-substituted rep
+// group with root ≠ node leader, which must be memoized).
+func TestPersistentSteadyStateAllocFreeBcastTree(t *testing.T) {
+	measureWaveAllocs(t, 1, 4, AlgoTree, func(c *Comm, s *device.Stream) (*PersistentColl, error) {
+		buf := c.Device().MustMalloc(4096 * 4)
+		return c.BcastInit(buf, buf, 4096, Float32, 2, s)
+	})
+}
+
+func TestPersistentSteadyStateAllocFreeBcastHier(t *testing.T) {
+	measureWaveAllocs(t, 2, 16, AlgoHierarchical, func(c *Comm, s *device.Stream) (*PersistentColl, error) {
+		buf := c.Device().MustMalloc(64 << 10)
+		return c.BcastInit(buf, buf, 64<<10/4, Float32, 3, s)
+	})
+}
+
+// ...and the persistent allgather handles: the ring's resident sender
+// daemon and the hierarchical leader's resident block-set forwarder.
+func TestPersistentSteadyStateAllocFreeAllgatherRing(t *testing.T) {
+	measureWaveAllocs(t, 1, 4, AlgoFlatRing, func(c *Comm, s *device.Stream) (*PersistentColl, error) {
+		send := c.Device().MustMalloc(16 << 10)
+		recv := c.Device().MustMalloc(4 * 16 << 10)
+		return c.AllgatherInit(send, recv, 16<<10/4, Float32, s)
+	})
+}
+
+func TestPersistentSteadyStateAllocFreeAllgatherHier(t *testing.T) {
+	measureWaveAllocs(t, 2, 16, AlgoHierarchical, func(c *Comm, s *device.Stream) (*PersistentColl, error) {
+		send := c.Device().MustMalloc(16 << 10)
+		recv := c.Device().MustMalloc(16 * 16 << 10)
+		return c.AllgatherInit(send, recv, 16<<10/4, Float32, s)
+	})
 }

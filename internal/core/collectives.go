@@ -208,6 +208,9 @@ func (x *Comm) Alltoall(sendBuf *device.Buffer, count int, dt mpi.Datatype, recv
 	blk := bytes
 	x.run(OpAlltoall, bytes, d,
 		func(cc *ccl.Comm, s *device.Stream) error {
+			if d.plan != "" {
+				return cc.Alltoall(sendBuf, recvBuf, count, d.dt, d.plan, s)
+			}
 			if err := cc.GroupStart(); err != nil {
 				return err
 			}
@@ -243,6 +246,9 @@ func (x *Comm) Alltoallv(sendBuf *device.Buffer, sendCounts, sdispls []int, dt m
 	n := x.Size()
 	x.run(OpAlltoallv, maxBytes, d,
 		func(cc *ccl.Comm, s *device.Stream) error {
+			if d.plan != "" {
+				return cc.Alltoallv(sendBuf, sendCounts, sdispls, recvBuf, recvCounts, rdispls, d.dt, d.plan, s)
+			}
 			if err := cc.GroupStart(); err != nil {
 				return err
 			}
@@ -280,6 +286,9 @@ func (x *Comm) Gather(sendBuf *device.Buffer, count int, dt mpi.Datatype, recvBu
 	n := x.Size()
 	x.run(OpGather, bytes, d,
 		func(cc *ccl.Comm, s *device.Stream) error {
+			if d.plan != "" {
+				return cc.Gather(sendBuf, recvBuf, count, d.dt, root, d.plan, s)
+			}
 			if err := cc.GroupStart(); err != nil {
 				return err
 			}
@@ -312,6 +321,9 @@ func (x *Comm) Scatter(sendBuf *device.Buffer, count int, dt mpi.Datatype, recvB
 	n := x.Size()
 	x.run(OpScatter, bytes, d,
 		func(cc *ccl.Comm, s *device.Stream) error {
+			if d.plan != "" {
+				return cc.Scatter(sendBuf, recvBuf, count, d.dt, root, d.plan, s)
+			}
 			if err := cc.GroupStart(); err != nil {
 				return err
 			}

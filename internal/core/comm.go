@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 
 	"mpixccl/internal/ccl"
 	"mpixccl/internal/ccl/hccl"
@@ -154,6 +155,43 @@ type decision struct {
 	// pipeline chunk.
 	algo  ccl.Algorithm
 	chunk int64
+	// plan, when non-empty, routes a synthesized collective through the
+	// compiled executor with this strategy key ("auto" = cost-model
+	// search). Empty keeps the group send-recv loop.
+	plan string
+}
+
+// compilableOps are the synthesized collectives the compiler lowers into
+// primitive DAGs (the ops that today bypass the CCL built-ins entirely).
+var compilableOps = map[OpKind]bool{
+	OpAlltoall: true, OpAlltoallv: true, OpGather: true, OpScatter: true,
+}
+
+// applyPlan folds a tuned band's v3 plan key into the decision. Compilable
+// ops carry the key straight to the CCL compiled executor; for the built-in
+// collectives a "native:" key is the search's ranking of the existing
+// schedule families, so it maps onto the algorithm selector (ParseTable
+// already validated the key against the op).
+func (d *decision) applyPlan(op OpKind, plan string) {
+	if plan == "" {
+		return
+	}
+	if compilableOps[op] {
+		d.plan = plan
+		return
+	}
+	switch {
+	case strings.HasPrefix(plan, "native:hier"):
+		d.algo = ccl.AlgoHierarchical
+	case strings.HasPrefix(plan, "native:flat"):
+		// Flat bcast runs the backend's tree schedule (there is no flat
+		// ring bcast); everything else flat is the ring family.
+		if op == OpBcast {
+			d.algo = ccl.AlgoTree
+		} else {
+			d.algo = ccl.AlgoFlatRing
+		}
+	}
 }
 
 // mapAlgo translates a tuning-table algorithm name into the CCL selector.
@@ -220,6 +258,10 @@ func (x *Comm) decide(op OpKind, bytes int64, dt mpi.Datatype, rop *mpi.Op, bufs
 		if th.Algo != AlgoAuto {
 			rt.countAlgoChoice(op, th.Algo)
 		}
+		d.applyPlan(op, th.Plan)
+	}
+	if d.plan == "" && rt.opts.Compile && compilableOps[op] {
+		d.plan = "auto"
 	}
 	return d
 }

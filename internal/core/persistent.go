@@ -36,25 +36,28 @@ var ErrOpFreed = errors.New("xccl: persistent op used after Free")
 // Free already released the CCL-layer scratch; the second did nothing.
 var ErrOpDoubleFree = errors.New("xccl: persistent op freed twice")
 
-// PersistentOp is one rank's handle on a persistent allreduce. The state
-// machine is Init → (Start → [Pready…] → Wait)* → Free:
+// PersistentOp is one rank's handle on a persistent collective (allreduce,
+// bcast, or allgather). The state machine is Init → (Start → [Pready…] →
+// Wait)* → Free:
 //
 //	Start   launches the pre-built schedule without blocking
 //	Pready  marks one send-payload partition ready (partitioned handles)
 //	Wait    blocks until the wave completes, handling fallback/failure
-//	Do      = Start + PreadyAll + Wait, bytewise ≡ one-shot Allreduce
+//	Do      = Start + PreadyAll + Wait, bytewise ≡ the one-shot call
 //
 // A handle is bound to the communicator it was built on: after a Shrink
 // the application must Free it and Init a fresh handle on the survivor
 // communicator (see dl.TrainElastic).
 type PersistentOp struct {
 	x          *Comm
+	kind       OpKind
 	send, recv *device.Buffer
 	count      int
 	dt         mpi.Datatype
 	op         mpi.Op
 	bytes      int64
 	parts      int
+	fb         func() // the blocking MPI algorithm, for demoted waves
 
 	pc *ccl.PersistentColl // nil when the plan decided the MPI path
 	cc *ccl.Comm           // the communicator pc was built on
@@ -84,19 +87,76 @@ func (x *Comm) AllReduceInit(send, recv *device.Buffer, count int, dt mpi.Dataty
 // behaves like AllReduceInit. MPI-path handles ignore partitioning (the
 // blocking MPI algorithm needs the whole payload).
 func (x *Comm) AllReduceInitPartitioned(send, recv *device.Buffer, count int, dt mpi.Datatype, op mpi.Op, parts int) (*PersistentOp, error) {
+	if err := x.persistAlive(); err != nil {
+		return nil, err
+	}
+	bytes := int64(count) * int64(dt.Size())
+	po := &PersistentOp{
+		x: x, kind: OpAllreduce, send: send, recv: recv,
+		count: count, dt: dt, op: op, bytes: bytes, parts: parts,
+		fb: func() { x.mpi.Allreduce(send, recv, count, dt, op) },
+	}
+	d := x.decide(OpAllreduce, bytes, dt, &op, send, recv)
+	return x.persistInit(po, d, func(cc *ccl.Comm, s *device.Stream) (*ccl.PersistentColl, error) {
+		return cc.AllReduceInitPartitioned(send, recv, count, d.dt, d.op, parts, s)
+	})
+}
+
+// BcastInit builds a persistent broadcast handle (MPI_Bcast_init) over buf,
+// in place, rooted at root. Same Init-once contract as AllReduceInit;
+// broadcast handles are not partitionable.
+func (x *Comm) BcastInit(buf *device.Buffer, count int, dt mpi.Datatype, root int) (*PersistentOp, error) {
+	if err := x.persistAlive(); err != nil {
+		return nil, err
+	}
+	bytes := int64(count) * int64(dt.Size())
+	po := &PersistentOp{
+		x: x, kind: OpBcast, send: buf, recv: buf,
+		count: count, dt: dt, bytes: bytes, parts: 1,
+		fb: func() { x.mpi.Bcast(buf, count, dt, root) },
+	}
+	d := x.decide(OpBcast, bytes, dt, nil, buf)
+	return x.persistInit(po, d, func(cc *ccl.Comm, s *device.Stream) (*ccl.PersistentColl, error) {
+		return cc.BcastInit(buf, buf, count, d.dt, root, s)
+	})
+}
+
+// AllgatherInit builds a persistent allgather handle (MPI_Allgather_init):
+// each wave concatenates every rank's send buffer into recv (size count×n).
+func (x *Comm) AllgatherInit(send *device.Buffer, count int, dt mpi.Datatype, recv *device.Buffer) (*PersistentOp, error) {
+	if err := x.persistAlive(); err != nil {
+		return nil, err
+	}
+	bytes := int64(count) * int64(dt.Size())
+	po := &PersistentOp{
+		x: x, kind: OpAllgather, send: send, recv: recv,
+		count: count, dt: dt, bytes: bytes, parts: 1,
+		fb: func() { x.mpi.Allgather(send, count, dt, recv) },
+	}
+	d := x.decide(OpAllgather, bytes, dt, nil, send, recv)
+	return x.persistInit(po, d, func(cc *ccl.Comm, s *device.Stream) (*ccl.PersistentColl, error) {
+		return cc.AllgatherInit(send, recv, count, d.dt, s)
+	})
+}
+
+// persistAlive rejects Init on a dead or revoked communicator, before the
+// dispatch decision runs (and records its tuning-lookup metrics).
+func (x *Comm) persistAlive() error {
 	if x.dead || x.rt.revoked[x.mpi.ContextID()] {
 		if x.failure == nil {
 			x.failure = ErrCommRevoked
 		}
-		return nil, x.failure
+		return x.failure
 	}
-	bytes := int64(count) * int64(dt.Size())
-	po := &PersistentOp{
-		x: x, send: send, recv: recv,
-		count: count, dt: dt, op: op, bytes: bytes, parts: parts,
-	}
-	d := x.decide(OpAllreduce, bytes, dt, &op, send, recv)
-	if d.useCCL && !x.rt.allowCCL(x, OpAllreduce) {
+	return nil
+}
+
+// persistInit finishes handle construction for any persistent collective:
+// liveness check, breaker consult, CCL communicator rendezvous, algorithm
+// forcing, and the CCL layer's schedule build.
+func (x *Comm) persistInit(po *PersistentOp, d decision,
+	ccInit func(cc *ccl.Comm, s *device.Stream) (*ccl.PersistentColl, error)) (*PersistentOp, error) {
+	if d.useCCL && !x.rt.allowCCL(x, po.kind) {
 		// Open breaker at plan time: the handle is demoted to the MPI path
 		// for its whole lifetime, exactly as one one-shot call would be for
 		// one wave. Rebuild the handle after the breaker closes to return
@@ -104,7 +164,7 @@ func (x *Comm) AllReduceInitPartitioned(send, recv *device.Buffer, count int, dt
 		d.useCCL = false
 		x.rt.stats.BreakerSkips++
 		x.rt.stats.Fallbacks.Error++
-		x.rt.countFallback(OpAllreduce, "breaker_open")
+		x.rt.countFallback(po.kind, "breaker_open")
 	}
 	if !d.useCCL {
 		return po, nil
@@ -113,14 +173,14 @@ func (x *Comm) AllReduceInitPartitioned(send, recv *device.Buffer, count int, dt
 	if err != nil {
 		// Communicator creation failures behave like any CCL error:
 		// breaker feedback, fallback counters, MPI-path handle.
-		x.rt.breakerFailure(x, OpAllreduce)
+		x.rt.breakerFailure(x, po.kind)
 		x.rt.stats.Fallbacks.Error++
-		x.rt.countFallback(OpAllreduce, "ccl_error")
+		x.rt.countFallback(po.kind, "ccl_error")
 		return po, nil
 	}
 	cc.SetAlgorithm(d.algo, d.chunk)
 	s := x.rt.stream(x.mpi.WorldRank(), x.Device())
-	pc, err := cc.AllReduceInitPartitioned(send, recv, count, d.dt, d.op, parts, s)
+	pc, err := ccInit(cc, s)
 	if err != nil {
 		// Init-time CCL errors are argument/plan errors, not runtime
 		// failures: surface them instead of silently demoting.
@@ -163,14 +223,14 @@ func (po *PersistentOp) Start() error {
 	}
 	// Heartbeat fast-fail, mirroring run(): a confirmed-dead peer cannot
 	// join this wave, so surface the verdict before launching.
-	if err := x.suspectErr(OpAllreduce); err != nil {
-		x.noteRankFailure(OpAllreduce, err)
+	if err := x.suspectErr(po.kind); err != nil {
+		x.noteRankFailure(po.kind, err)
 		return err
 	}
 	// Partition fast-fail, mirroring run(): a severed peer cannot join
 	// this wave either.
-	if err := x.unreachableErr(OpAllreduce); err != nil {
-		x.notePartition(OpAllreduce, err)
+	if err := x.unreachableErr(po.kind); err != nil {
+		x.notePartition(po.kind, err)
 		return err
 	}
 	po.start = x.mpi.Proc().Now()
@@ -198,18 +258,18 @@ func (po *PersistentOp) Start() error {
 	}
 	if err := po.pc.Start(); err != nil {
 		if errors.Is(err, ccl.ErrRankDead) {
-			x.noteRankFailure(OpAllreduce, err)
+			x.noteRankFailure(po.kind, err)
 			po.inflight = false
 			return err
 		}
 		if errors.Is(err, ccl.ErrUnreachable) {
-			x.notePartition(OpAllreduce, err)
+			x.notePartition(po.kind, err)
 			po.inflight = false
 			return err
 		}
-		x.rt.breakerFailure(x, OpAllreduce)
+		x.rt.breakerFailure(x, po.kind)
 		x.rt.stats.Fallbacks.Error++
-		x.rt.countFallback(OpAllreduce, "ccl_error")
+		x.rt.countFallback(po.kind, "ccl_error")
 		po.demoted = true
 	}
 	return nil
@@ -256,31 +316,31 @@ func (po *PersistentOp) Wait() error {
 				// Fail-stop: retrying cannot succeed and the MPI fallback
 				// would block forever on the dead peer. The handle is
 				// permanently broken; rebuild it after Shrink.
-				x.noteRankFailure(OpAllreduce, err)
+				x.noteRankFailure(po.kind, err)
 				return err
 			}
 			if errors.Is(err, ccl.ErrUnreachable) {
 				// Severed by a partition: same reasoning — the MPI fallback
 				// crosses the same cut. Rebuild after the quorum shrink.
-				x.notePartition(OpAllreduce, err)
+				x.notePartition(po.kind, err)
 				return err
 			}
-			x.rt.breakerFailure(x, OpAllreduce)
+			x.rt.breakerFailure(x, po.kind)
 			x.rt.stats.Fallbacks.Error++
 			x.rt.stats.MPIOps++
-			x.rt.countFallback(OpAllreduce, "ccl_error")
-			x.mpi.Allreduce(po.send, po.recv, po.count, po.dt, po.op)
+			x.rt.countFallback(po.kind, "ccl_error")
+			po.fb()
 		} else {
-			x.rt.breakerSuccess(x, OpAllreduce)
+			x.rt.breakerSuccess(x, po.kind)
 			path = PathCCL
 			x.rt.stats.CCLOps++
 		}
 	} else {
 		x.rt.stats.MPIOps++
-		x.mpi.Allreduce(po.send, po.recv, po.count, po.dt, po.op)
+		po.fb()
 	}
 	rec := trace.Record{
-		Op: string(OpAllreduce), Path: path.String(), Backend: string(x.rt.kind),
+		Op: string(po.kind), Path: path.String(), Backend: string(x.rt.kind),
 		Rank: x.Rank(), Bytes: po.bytes,
 		Start: po.start, Duration: x.mpi.Proc().Now() - po.start,
 	}

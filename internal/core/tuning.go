@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"sort"
+
+	"mpixccl/internal/ccl/comp"
 )
 
 // OpKind names a collective for tuning-table lookup.
@@ -65,9 +67,11 @@ func ParseAlgo(s string) (Algo, error) {
 }
 
 // TableVersion is the current tuning-table schema: version 2 added the
-// per-band algorithm selector and pipeline chunk size. Version-1 tables
-// (no version field) parse unchanged — their bands read as algo "auto".
-const TableVersion = 2
+// per-band algorithm selector and pipeline chunk size; version 3 added the
+// compiled-plan key (Threshold.Plan). Version-1 tables (no version field)
+// and version-2 tables parse unchanged — their bands read as algo "auto"
+// with no plan.
+const TableVersion = 3
 
 // Threshold maps payload sizes up to MaxBytes (inclusive; 0 = unbounded)
 // to a path. Entries in a rule are sorted ascending with the unbounded
@@ -80,6 +84,11 @@ type Threshold struct {
 	Algo Algo `json:"algo,omitempty"`
 	// ChunkBytes is the hierarchical pipeline chunk (0 = backend default).
 	ChunkBytes int64 `json:"chunk_bytes,omitempty"`
+	// Plan is the compiled-plan strategy key for this band (v3; "" = no
+	// compiled plan). For the synthesized collectives (alltoall(v),
+	// scatter, gather) it names a comp strategy ("phased:chunk=1048576");
+	// for the built-in collectives a "native:" family the search ranked.
+	Plan string `json:"plan,omitempty"`
 }
 
 // TuningTable is the offline-tuned dispatch policy of §3.4: per operation,
@@ -172,6 +181,11 @@ func ParseTable(data []byte) (*TuningTable, error) {
 				return nil, fmt.Errorf("xccl: tuning table rule %s band %d: %w", op, i, err)
 			}
 			rule[i].Algo = a
+			if th.Plan != "" {
+				if err := comp.ValidKey(string(op), th.Plan); err != nil {
+					return nil, fmt.Errorf("xccl: tuning table rule %s band %d: %w", op, i, err)
+				}
+			}
 		}
 	}
 	return &t, nil

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -122,5 +123,111 @@ func TestCrossoverMonotoneProperty(t *testing.T) {
 func TestPathString(t *testing.T) {
 	if PathMPI.String() != "mpi" || PathCCL.String() != "ccl" {
 		t.Error("path names wrong")
+	}
+}
+
+// TestParseTableMigration pins the forward/backward-compat contract: v1
+// (unversioned) and v2 tables load unchanged, v3 tables with compiled-plan
+// keys load and validate, and anything newer than v3 is rejected with an
+// error that names the offending version.
+func TestParseTableMigration(t *testing.T) {
+	cases := []struct {
+		name    string
+		json    string
+		wantErr string
+		check   func(t *testing.T, tab *TuningTable)
+	}{
+		{
+			name: "v1-unversioned",
+			json: `{"system":"ThetaGPU","backend":"nccl","rules":{
+				"allreduce":[{"max_bytes":16384,"path":0},{"max_bytes":0,"path":1}]}}`,
+			check: func(t *testing.T, tab *TuningTable) {
+				if tab.Lookup(OpAllreduce, 1<<10) != PathMPI || tab.Lookup(OpAllreduce, 1<<20) != PathCCL {
+					t.Fatal("v1 bands misread")
+				}
+				th, _ := tab.Choice(OpAllreduce, 1<<20)
+				if th.Algo != AlgoAuto || th.Plan != "" {
+					t.Fatalf("v1 band gained fields: %+v", th)
+				}
+			},
+		},
+		{
+			name: "v2-algo-chunk",
+			json: `{"version":2,"system":"ThetaGPU","backend":"nccl","rules":{
+				"allreduce":[{"max_bytes":0,"path":1,"algo":"hierarchical","chunk_bytes":1048576}]}}`,
+			check: func(t *testing.T, tab *TuningTable) {
+				th, _ := tab.Choice(OpAllreduce, 1<<20)
+				if th.Algo != AlgoHierarchical || th.ChunkBytes != 1<<20 || th.Plan != "" {
+					t.Fatalf("v2 band misread: %+v", th)
+				}
+			},
+		},
+		{
+			name: "v3-compiled-plan",
+			json: `{"version":3,"system":"ThetaGPU","backend":"nccl","rules":{
+				"alltoall":[{"max_bytes":0,"path":1,"plan":"phased:chunk=1048576"}],
+				"scatter":[{"max_bytes":0,"path":1,"plan":"staged:intra=tree,stripe=2,depth=1"}],
+				"allreduce":[{"max_bytes":0,"path":1,"plan":"native:hier"}]}}`,
+			check: func(t *testing.T, tab *TuningTable) {
+				th, _ := tab.Choice(OpAlltoall, 1<<20)
+				if th.Plan != "phased:chunk=1048576" {
+					t.Fatalf("v3 plan misread: %+v", th)
+				}
+			},
+		},
+		{
+			name:    "v4-rejected",
+			json:    `{"version":4,"system":"ThetaGPU","backend":"nccl","rules":{}}`,
+			wantErr: "version 4",
+		},
+		{
+			name: "v3-bad-plan-key",
+			json: `{"version":3,"system":"ThetaGPU","backend":"nccl","rules":{
+				"alltoall":[{"max_bytes":0,"path":1,"plan":"warp-drive"}]}}`,
+			wantErr: "warp-drive",
+		},
+		{
+			name: "v3-plan-wrong-op",
+			json: `{"version":3,"system":"ThetaGPU","backend":"nccl","rules":{
+				"allreduce":[{"max_bytes":0,"path":1,"plan":"phased"}]}}`,
+			wantErr: "allreduce",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			tab, err := ParseTable([]byte(c.json))
+			if c.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+					t.Fatalf("err = %v, want mention of %q", err, c.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			c.check(t, tab)
+		})
+	}
+}
+
+// TestTuningJSONStampsV3 pins that re-serialized tables carry the current
+// version so older binaries refuse them instead of dropping plan bands.
+func TestTuningJSONStampsV3(t *testing.T) {
+	tab := &TuningTable{System: "s", Backend: "nccl"}
+	tab.Set(OpAlltoall, []Threshold{{MaxBytes: 0, Path: PathCCL, Plan: "phased"}})
+	data, err := tab.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"version": 3`) {
+		t.Fatalf("serialized table missing v3 stamp:\n%s", data)
+	}
+	back, err := ParseTable(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th, _ := back.Choice(OpAlltoall, 1)
+	if th.Plan != "phased" {
+		t.Fatalf("plan lost in round trip: %+v", th)
 	}
 }

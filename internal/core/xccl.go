@@ -192,6 +192,12 @@ type Options struct {
 	// Resilience tunes the retry/circuit-breaker/degradation policy; nil
 	// uses DefaultResilience().
 	Resilience *Resilience
+	// Compile turns on the collective compiler for the synthesized
+	// collectives (alltoall(v), gather, scatter): when the tuning table
+	// names no plan for a CCL band, the cost-model search picks one
+	// instead of the group send-recv loop. Off by default — dispatch is
+	// then byte-identical to the pre-compiler layer.
+	Compile bool
 }
 
 // Runtime is the per-job xCCL state: backend choice, communicator cache,

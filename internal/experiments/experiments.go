@@ -73,6 +73,17 @@ func hierTable(system string, backend core.BackendKind, nodes int) *core.TuningT
 	return core.HierarchicalTableFor(system, backend, true, 0)
 }
 
+// compileEnabled switches the xCCL series of every figure onto the
+// collective compiler (off by default so regenerated exhibits match the
+// paper's group send-recv synthesized collectives byte for byte).
+var compileEnabled bool
+
+// SetCompile toggles the collective compiler for the hybrid/pure-xCCL
+// series of every figure: the synthesized collectives (alltoall(v),
+// gather, scatter) run cost-model-compiled plans instead of the group
+// send-recv loop. Call it before Run/RunAll (the xcclbench -compile flag).
+func SetCompile(on bool) { compileEnabled = on }
+
 // persistEnabled switches the Horovod exhibits' xCCL engine onto
 // persistent partitioned allreduce handles (off by default so regenerated
 // exhibits match the paper's per-call dispatch byte for byte).
@@ -353,7 +364,8 @@ func dlFigure(id, title, system string, nodes int, backend core.BackendKind, eng
 		for _, bs := range []int{32, 64, 128} {
 			rep, err := dl.Train(dl.Config{System: system, Nodes: nodes, BatchSize: bs,
 				Steps: 1, Engine: eng, Backend: backend, Table: table, Metrics: reg,
-				Persistent: persistEnabled && eng == dl.EngineXCCL})
+				Persistent: persistEnabled && eng == dl.EngineXCCL,
+				Compile:    compileEnabled && eng == dl.EngineXCCL})
 			if err != nil {
 				return nil, err
 			}

@@ -1,13 +1,21 @@
 package experiments
 
 import (
+	"errors"
+	"hash/crc32"
 	"reflect"
 	"strings"
 	"testing"
 	"time"
 
+	"mpixccl/internal/ccl"
+	"mpixccl/internal/core"
 	"mpixccl/internal/dl"
+	"mpixccl/internal/fabric"
 	"mpixccl/internal/fault"
+	"mpixccl/internal/mpi"
+	"mpixccl/internal/sim"
+	"mpixccl/internal/topology"
 )
 
 // stripWall zeroes the fields that legitimately differ between a serial and
@@ -249,6 +257,254 @@ func TestPartitionVerdictsAcrossShards(t *testing.T) {
 	if serial.Partitions != 1 || serial.FencedRanks != 4 || serial.Epoch < 2 {
 		t.Errorf("expected one handled cut with a rejoin, got %+v", serial)
 	}
+}
+
+// ---------------------------------------------------------------------------
+// Compiled-collective shard determinism.
+//
+// The tests above pin the SYNTHETIC leader-ring model; the ones below pin
+// the REAL dispatch: a compiler-planned Alltoall (core.Options.Compile)
+// driven through the full core runtime — fault pre-checks, watchdog
+// verdicts, quorum membership — at 1 vs 4 engine shards. Every field in a
+// verdict is virtual-time-deterministic (payload CRCs, failure strings,
+// membership stats, per-rank finish clocks), so reflect.DeepEqual must hold
+// exactly, extending the stripWall pattern to the compiled executor.
+
+// rankFate is one rank's distilled outcome.
+type rankFate struct {
+	Waves   int           // full-width compiled waves that completed
+	CRC     uint32        // payload digest of the last good full-width wave
+	Failure string        // the failure verdict the rank observed, verbatim
+	PostCRC uint32        // payload digest after recovery (shrink or regrow)
+	End     time.Duration // the rank's virtual finish time
+}
+
+// compiledVerdict is everything a run must reproduce across shard counts.
+type compiledVerdict struct {
+	Ranks []rankFate
+	Stats core.Stats
+}
+
+// compiledWorld builds a two-node thetagpu world with the collective
+// compiler on, the fault plan armed, and the engine split across shards.
+func compiledWorld(t *testing.T, nranks, shards int, plan *fault.Plan) *core.Runtime {
+	t.Helper()
+	k := sim.NewKernel()
+	sys, err := topology.Preset(k, "thetagpu", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shards > 1 {
+		sim.Adopt(k, shards, sys.Inter.Alpha)
+	}
+	fab := fabric.New(k, sys)
+	fab.SetFaults(plan)
+	pol := core.DefaultResilience()
+	pol.WatchdogTimeout = 200 * time.Microsecond
+	rt, err := core.NewRuntime(mpi.NewJobOnSystem(fab, mpi.MVAPICHProfile(), sys, nranks),
+		core.Options{Backend: core.Auto, Mode: core.PureCCL, Compile: true, Resilience: pol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+// runCompiledAlltoallCrash drives compiled Alltoall waves into a fail-stop
+// crash of rank 5, lets the watchdog convert the stuck wave into ErrRankDead
+// verdicts, shrinks, and runs one more compiled wave on the 15-rank group.
+func runCompiledAlltoallCrash(t *testing.T, shards int) compiledVerdict {
+	t.Helper()
+	const nranks, count = 16, 1024
+	blk := int64(count) * 4
+	plan := fault.NewPlan(42).AddRule(fault.Rule{
+		Name: "rank5-dies", Crash: true, Ranks: []int{5}, From: 60 * time.Microsecond,
+	})
+	rt := compiledWorld(t, nranks, shards, plan)
+	v := compiledVerdict{Ranks: make([]rankFate, nranks)}
+	if err := rt.Run(func(x *core.Comm) {
+		p := x.MPI().Proc()
+		rv := &v.Ranks[x.Rank()]
+		send := x.Device().MustMalloc(blk * nranks)
+		recv := x.Device().MustMalloc(blk * nranks)
+		defer send.Free()
+		defer recv.Free()
+		for wave := 0; wave < 4 && x.Failure() == nil && !x.Dead(); wave++ {
+			for i := 0; i < count*nranks; i++ {
+				send.SetFloat32(i, float32(x.Rank()+1)*100+float32(wave)+float32(i%17))
+			}
+			x.Alltoall(send, count, mpi.Float32, recv)
+			if x.Failure() == nil {
+				rv.Waves++
+				rv.CRC = crc32.ChecksumIEEE(recv.Bytes())
+			}
+			p.Sleep(20 * time.Microsecond)
+		}
+		f := x.Failure()
+		if f == nil {
+			t.Errorf("rank %d: crash never surfaced", x.Rank())
+			return
+		}
+		rv.Failure = f.Error()
+		if x.Dead() {
+			rv.End = p.Now()
+			return // the crashed rank exits; survivors recover
+		}
+		if !errors.Is(f, ccl.ErrRankDead) {
+			t.Errorf("rank %d: failure = %v, want ErrRankDead", x.Rank(), f)
+		}
+		x.Revoke()
+		nx, err := x.Shrink()
+		if err != nil {
+			t.Errorf("rank %d shrink: %v", x.Rank(), err)
+			return
+		}
+		// One compiled wave on the shrunk (15-rank, non-power-of-two) group.
+		n := int64(nx.Size())
+		for i := 0; i < count*int(n); i++ {
+			send.SetFloat32(i, float32(nx.Rank()+1)+float32(i%13))
+		}
+		nx.Alltoall(send.Slice(0, blk*n), count, mpi.Float32, recv.Slice(0, blk*n))
+		if err := nx.Failure(); err != nil {
+			t.Errorf("rank %d post-shrink: %v", nx.Rank(), err)
+			return
+		}
+		rv.PostCRC = crc32.ChecksumIEEE(recv.Bytes()[:blk*n])
+		rv.End = p.Now()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	v.Stats = rt.Stats()
+	return v
+}
+
+// runCompiledAlltoallPartition drives a compiled Alltoall through the full
+// heal-and-rejoin arc: a pre-cut wave, a fast-failing wave inside a healing
+// node cut, quorum shrink + fence + rejoin, and a post-heal full-width wave.
+func runCompiledAlltoallPartition(t *testing.T, shards int) compiledVerdict {
+	t.Helper()
+	const nranks, count = 12, 256
+	blk := int64(count) * 4
+	cut, heal := 50*time.Microsecond, 400*time.Microsecond
+	plan := fault.NewPlan(7).AddPartitionRule(fault.PartitionRule{
+		Name: "node1-cut-heals", Nodes: []int{1}, From: cut, Until: heal,
+	})
+	rt := compiledWorld(t, nranks, shards, plan)
+	v := compiledVerdict{Ranks: make([]rankFate, nranks)}
+	if err := rt.Run(func(x *core.Comm) {
+		p := x.MPI().Proc()
+		wr := x.Rank() // world rank: stable across shrink/grow
+		rv := &v.Ranks[wr]
+		send := x.Device().MustMalloc(blk * nranks)
+		recv := x.Device().MustMalloc(blk * nranks)
+		defer send.Free()
+		defer recv.Free()
+		fill := func(rank, salt int) {
+			for i := 0; i < count*nranks; i++ {
+				send.SetFloat32(i, float32(rank+1)*10+float32(salt)+float32(i%29))
+			}
+		}
+
+		// Before the cut: a full-width compiled wave completes everywhere.
+		fill(wr, 0)
+		x.Alltoall(send, count, mpi.Float32, recv)
+		if err := x.Failure(); err != nil {
+			t.Errorf("rank %d pre-cut: %v", wr, err)
+			return
+		}
+		rv.Waves++
+		rv.CRC = crc32.ChecksumIEEE(recv.Bytes())
+
+		// Inside the window: the dispatch fast-fails instead of blocking.
+		if now := p.Now(); now < cut+10*time.Microsecond {
+			p.Sleep(cut + 10*time.Microsecond - now)
+		}
+		x.Alltoall(send, count, mpi.Float32, recv)
+		f := x.Failure()
+		if f == nil {
+			t.Errorf("rank %d: cut wave succeeded", wr)
+			return
+		}
+		if !errors.Is(f, ccl.ErrUnreachable) && !errors.Is(f, core.ErrCommRevoked) {
+			t.Errorf("rank %d cut failure = %v, want ErrUnreachable or ErrCommRevoked", wr, f)
+		}
+		rv.Failure = f.Error()
+
+		// Heal arc: the majority quorum-shrinks to 8 and polls Grow; the
+		// minority loses the vote, fences, and rejoins once the cut heals.
+		nx, serr := x.Shrink()
+		if errors.Is(serr, core.ErrNoQuorum) {
+			gx, ok := x.Rejoin(func() { p.Sleep(5 * time.Microsecond) })
+			if !ok {
+				t.Errorf("minority rank %d: rejoin not adopted", wr)
+				return
+			}
+			x = gx
+		} else if serr != nil {
+			t.Errorf("rank %d shrink: %v", wr, serr)
+			return
+		} else {
+			for {
+				gx, _, gerr := nx.Grow(nranks - nx.Size())
+				if gerr == nil {
+					x = gx
+					break
+				}
+				if !errors.Is(gerr, core.ErrNoSpares) {
+					t.Errorf("rank %d grow: %v", wr, gerr)
+					return
+				}
+				p.Sleep(50 * time.Microsecond)
+			}
+		}
+
+		// Full width restored: the compiled wave completes on the regrown
+		// communicator.
+		if x.Size() != nranks {
+			t.Errorf("rank %d: regrown size = %d, want %d", wr, x.Size(), nranks)
+		}
+		fill(x.Rank(), 1)
+		x.Alltoall(send, count, mpi.Float32, recv)
+		if err := x.Failure(); err != nil {
+			t.Errorf("rank %d post-heal: %v", wr, err)
+			return
+		}
+		rv.PostCRC = crc32.ChecksumIEEE(recv.Bytes())
+		rv.End = p.Now()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	v.Stats = rt.Stats()
+	return v
+}
+
+// TestCompiledAlltoallShardDeterminism is the cross-shard contract for the
+// collective compiler: the same crash and partition schedules must yield
+// byte-identical verdicts whether the engine runs serial or on 4 shards.
+func TestCompiledAlltoallShardDeterminism(t *testing.T) {
+	t.Run("crash", func(t *testing.T) {
+		serial := runCompiledAlltoallCrash(t, 1)
+		sharded := runCompiledAlltoallCrash(t, 4)
+		if !reflect.DeepEqual(sharded, serial) {
+			t.Errorf("shards=4 verdicts diverged:\n%+v\nserial:\n%+v", sharded, serial)
+		}
+		if st := serial.Stats; st.RankFailures != 1 || st.Shrinks != 1 {
+			t.Errorf("want one crash and one shrink, got %+v", st)
+		}
+		if st := serial.Stats; st.CCLOps == 0 || st.MPIOps != 0 {
+			t.Errorf("pure-CCL compiled run took the wrong path: %+v", st)
+		}
+	})
+	t.Run("partition-heal", func(t *testing.T) {
+		serial := runCompiledAlltoallPartition(t, 1)
+		sharded := runCompiledAlltoallPartition(t, 4)
+		if !reflect.DeepEqual(sharded, serial) {
+			t.Errorf("shards=4 verdicts diverged:\n%+v\nserial:\n%+v", sharded, serial)
+		}
+		if st := serial.Stats; st.Partitions != 1 || st.FencedRanks != 4 ||
+			st.Shrinks != 1 || st.Grows != 1 || st.Epoch != 2 {
+			t.Errorf("want one healed cut (shrink+grow, 4 fenced), got %+v", st)
+		}
+	})
 }
 
 func TestScaleRejectsUnevenRanks(t *testing.T) {

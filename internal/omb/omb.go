@@ -54,6 +54,8 @@ const (
 	Bcast     Collective = "bcast"
 	Alltoall  Collective = "alltoall"
 	Allgather Collective = "allgather"
+	Gather    Collective = "gather"
+	Scatter   Collective = "scatter"
 )
 
 // Config parameterizes one benchmark run.
@@ -104,6 +106,11 @@ type Config struct {
 	// Start/Wait wave — the MPI-4 MPI_Allreduce_init measurement mode.
 	// Other operations and stacks ignore the flag.
 	Persistent bool
+	// Compile turns on the collective compiler in the xCCL stacks: the
+	// synthesized collectives (alltoall(v), gather, scatter) run compiled
+	// plans picked by the cost-model search instead of the group
+	// send-recv loop (core.Options.Compile).
+	Compile bool
 }
 
 func (c *Config) fillDefaults() {
@@ -232,7 +239,7 @@ func RunCollective(cfg Config, op Collective) ([]Result, error) {
 	body := func(d *collDriver) {
 		// Only the gather-family ops need n-scaled buffers.
 		n := int64(1)
-		if op == Alltoall || op == Allgather {
+		if op == Alltoall || op == Allgather || op == Gather || op == Scatter {
 			n = int64(nranks)
 		}
 		maxBuf := sizes[len(sizes)-1]
@@ -284,7 +291,8 @@ func launchCollective(cfg *Config, w *world, nranks int, body func(d *collDriver
 		}
 		job := mpi.NewJobOnSystem(w.fab, mpi.MVAPICHProfile(), w.sys, nranks)
 		rt, err := core.NewRuntime(job, core.Options{Backend: cfg.Backend, Mode: mode,
-			Table: cfg.Table, Metrics: cfg.Metrics, Resilience: cfg.Resilience})
+			Table: cfg.Table, Metrics: cfg.Metrics, Resilience: cfg.Resilience,
+			Compile: cfg.Compile})
 		if err != nil {
 			return err
 		}
@@ -378,6 +386,12 @@ func xcclOp(x *core.Comm, op Collective, send, recv *device.Buffer, count int) {
 	case Allgather:
 		n := int64(x.Size())
 		x.Allgather(send.Slice(0, int64(count)*4), count, mpi.Float32, recv.Slice(0, int64(count)*4*n))
+	case Gather:
+		n := int64(x.Size())
+		x.Gather(send.Slice(0, int64(count)*4), count, mpi.Float32, recv.Slice(0, int64(count)*4*n), 0)
+	case Scatter:
+		n := int64(x.Size())
+		x.Scatter(send.Slice(0, int64(count)*4*n), count, mpi.Float32, recv.Slice(0, int64(count)*4), 0)
 	}
 }
 
@@ -395,6 +409,12 @@ func mpiOp(c *mpi.Comm, op Collective, send, recv *device.Buffer, count int) {
 	case Allgather:
 		n := int64(c.Size())
 		c.Allgather(send.Slice(0, int64(count)*4), count, mpi.Float32, recv.Slice(0, int64(count)*4*n))
+	case Gather:
+		n := int64(c.Size())
+		c.Gather(send.Slice(0, int64(count)*4), count, mpi.Float32, recv.Slice(0, int64(count)*4*n), 0)
+	case Scatter:
+		n := int64(c.Size())
+		c.Scatter(send.Slice(0, int64(count)*4*n), count, mpi.Float32, recv.Slice(0, int64(count)*4), 0)
 	}
 }
 
@@ -412,5 +432,14 @@ func uccOp(x *baseline.Comm, op Collective, send, recv *device.Buffer, count int
 	case Allgather:
 		n := int64(x.Size())
 		x.Allgather(send.Slice(0, int64(count)*4), count, mpi.Float32, recv.Slice(0, int64(count)*4*n))
+	case Gather, Scatter:
+		// UCC has no gather/scatter team collective here; run them on the
+		// underlying Open MPI communicator, as the real stack does.
+		n := int64(x.MPI().Size())
+		if op == Gather {
+			x.MPI().Gather(send.Slice(0, int64(count)*4), count, mpi.Float32, recv.Slice(0, int64(count)*4*n), 0)
+		} else {
+			x.MPI().Scatter(send.Slice(0, int64(count)*4*n), count, mpi.Float32, recv.Slice(0, int64(count)*4), 0)
+		}
 	}
 }

@@ -432,3 +432,75 @@ func TestTuneNoAlgoSweep(t *testing.T) {
 		}
 	}
 }
+
+// The new synthesized-collective benchmarks run on every stack, and the
+// compiled path (Config.Compile) matches the group-loop latency curve's
+// shape (monotone, no collapse).
+func TestGatherScatterAllStacksSmoke(t *testing.T) {
+	for _, stack := range []Stack{StackHybrid, StackPureXCCL, StackMPI, StackOpenMPI, StackUCC, StackPureCCL} {
+		for _, op := range []Collective{Gather, Scatter} {
+			cfg := Config{System: "thetagpu", Nodes: 1, MinBytes: 64 << 10, MaxBytes: 256 << 10,
+				Iterations: 1, Stack: stack}
+			res, err := RunCollective(cfg, op)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", stack, op, err)
+			}
+			if len(res) == 0 || res[0].Latency <= 0 {
+				t.Fatalf("%s/%s: empty results", stack, op)
+			}
+		}
+	}
+}
+
+// Compiled dispatch through OMB: the phased alltoall must beat the group
+// send-recv loop at large sizes on a multi-node shape (the Fig 6 claim
+// BENCH_pr10.json records; this is the small always-on guard).
+func TestCompiledAlltoallBeatsLoopMultiNode(t *testing.T) {
+	// 4 full ThetaGPU nodes: 8 flows per node share each NIC, so the flat
+	// loop convoys (HOL) and the phased pairing schedule wins. 256 KB keeps
+	// the event count test-sized; the 4 MB Fig 6 sweep lives in the bench.
+	base := Config{System: "thetagpu", Nodes: 4,
+		MinBytes: 256 << 10, MaxBytes: 256 << 10, Iterations: 2, Stack: StackPureXCCL}
+	loop, err := RunCollective(base, Alltoall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp := base
+	comp.Compile = true
+	compiled, err := RunCollective(comp, Alltoall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if compiled[0].Latency >= loop[0].Latency {
+		t.Errorf("compiled alltoall %v not faster than loop %v at 256KB over 4 nodes",
+			compiled[0].Latency, loop[0].Latency)
+	}
+}
+
+func TestTuneSweepsCompiledPlans(t *testing.T) {
+	table, err := Tune(Config{System: "thetagpu", Nodes: 4,
+		MinBytes: 256 << 10, MaxBytes: 256 << 10, Iterations: 1}, []Collective{Alltoall})
+	if err != nil {
+		t.Fatal(err)
+	}
+	th, ok := table.Choice(core.OpAlltoall, 256<<10)
+	if !ok || th.Path != core.PathCCL {
+		t.Fatalf("tuner should pick CCL alltoall at 256KB on 4 nodes, got %+v (hit=%v)", th, ok)
+	}
+	if th.Plan == "" {
+		t.Fatalf("tuner should pick a compiled plan at 256KB on 4 nodes, got %+v", th)
+	}
+	// The plan key must survive a v3 JSON round trip.
+	js, err := table.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := core.ParseTable(js)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th2, _ := loaded.Choice(core.OpAlltoall, 256<<10)
+	if th2.Plan != th.Plan {
+		t.Fatalf("plan lost in round trip: %+v != %+v", th2, th)
+	}
+}

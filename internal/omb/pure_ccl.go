@@ -75,6 +75,34 @@ func pureCCLOp(cc *ccl.Comm, s *device.Stream, p *sim.Proc, op Collective, send,
 		if err == nil {
 			err = cc.GroupEnd()
 		}
+	case Gather, Scatter:
+		// Synthesized at root via group send/recv, like alltoall.
+		if err = cc.GroupStart(); err != nil {
+			break
+		}
+		root := 0
+		if cc.Rank() == root {
+			for peer := 0; peer < cc.Size(); peer++ {
+				if peer == root {
+					continue
+				}
+				if op == Gather {
+					err = cc.Recv(recv.Slice(int64(peer)*bytes, bytes), count, dt, peer, s)
+				} else {
+					err = cc.Send(send.Slice(int64(peer)*bytes, bytes), count, dt, peer, s)
+				}
+				if err != nil {
+					break
+				}
+			}
+		} else if op == Gather {
+			err = cc.Send(send.Slice(0, bytes), count, dt, root, s)
+		} else {
+			err = cc.Recv(recv.Slice(0, bytes), count, dt, root, s)
+		}
+		if err == nil {
+			err = cc.GroupEnd()
+		}
 	}
 	if err != nil {
 		panic(err)

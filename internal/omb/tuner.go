@@ -20,6 +20,28 @@ func hierOp(op Collective) bool {
 	return false
 }
 
+// planSweep lists the compiled-plan strategy keys Tune measures for a
+// synthesized collective (the ops the compiler lowers). Phased pairing and
+// leader-staged trees only exist across nodes; on one node the compiled
+// direct fan is the sole alternative to the group send-recv loop.
+func planSweep(op Collective, multiNode bool) []string {
+	switch op {
+	case Alltoall:
+		if multiNode {
+			return []string{"direct", "phased", "phased:chunk=1048576"}
+		}
+		return []string{"direct"}
+	case Gather, Scatter:
+		if multiNode {
+			return []string{"direct",
+				"staged:intra=flat,stripe=2,depth=2",
+				"staged:intra=tree,stripe=2,depth=1"}
+		}
+		return []string{"direct"}
+	}
+	return nil
+}
+
 // tuneVariant is one CCL candidate in the sweep: the table band that
 // selects it and its measured per-size results.
 type tuneVariant struct {
@@ -29,14 +51,16 @@ type tuneVariant struct {
 
 // Tune performs the offline tuning of §3.4, extended with algorithm-level
 // selection: for every operation it measures the MPI path, the flat CCL
-// path, and — on multi-node shapes — the hierarchical CCL schedule at each
-// candidate pipeline chunk size, then records the winner per size band.
-// The resulting v2 table carries the algorithm family and chunk alongside
-// the MPI/CCL path, ready for the hybrid runtime to honor.
+// path, on multi-node shapes the hierarchical CCL schedule at each
+// candidate pipeline chunk size, and — for the synthesized collectives —
+// every compiled-plan strategy the collective compiler offers, then
+// records the winner per size band. The resulting v3 table carries the
+// algorithm family, chunk, and winning plan key alongside the MPI/CCL
+// path, ready for the hybrid runtime to honor.
 func Tune(cfg Config, ops []Collective) (*core.TuningTable, error) {
 	cfg.fillDefaults()
 	if len(ops) == 0 {
-		ops = []Collective{Allreduce, Reduce, Bcast, Alltoall, Allgather}
+		ops = []Collective{Allreduce, Reduce, Bcast, Alltoall, Allgather, Gather, Scatter}
 	}
 	chunks := cfg.ChunkSweep
 	if chunks == nil {
@@ -76,6 +100,21 @@ func Tune(cfg Config, ops []Collective) (*core.TuningTable, error) {
 				variants = append(variants, tuneVariant{band: band, res: res})
 			}
 		}
+		if !cfg.NoAlgoSweep {
+			for _, key := range planSweep(op, cfg.Nodes > 1) {
+				band := core.Threshold{Path: core.PathCCL, Plan: key}
+				forced := &core.TuningTable{System: cfg.System, Backend: string(cfg.Backend)}
+				forced.Set(tuneOpKind(op), []core.Threshold{band})
+				planCfg := cfg
+				planCfg.Stack = StackHybrid
+				planCfg.Table = forced
+				res, err := RunCollective(planCfg, op)
+				if err != nil {
+					return nil, fmt.Errorf("tune %s (plan %s): %w", op, key, err)
+				}
+				variants = append(variants, tuneVariant{band: band, res: res})
+			}
+		}
 		var rule []core.Threshold
 		have := false
 		var last core.Threshold
@@ -88,7 +127,8 @@ func Tune(cfg Config, ops []Collective) (*core.TuningTable, error) {
 					win = v.band
 				}
 			}
-			if have && win.Path == last.Path && win.Algo == last.Algo && win.ChunkBytes == last.ChunkBytes {
+			if have && win.Path == last.Path && win.Algo == last.Algo &&
+				win.ChunkBytes == last.ChunkBytes && win.Plan == last.Plan {
 				// Extend the current band.
 				rule[len(rule)-1].MaxBytes = mpiRes[i].Bytes
 				continue
@@ -117,6 +157,10 @@ func tuneOpKind(op Collective) core.OpKind {
 		return core.OpAlltoall
 	case Allgather:
 		return core.OpAllgather
+	case Gather:
+		return core.OpGather
+	case Scatter:
+		return core.OpScatter
 	}
 	return core.OpKind(op)
 }

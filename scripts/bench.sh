@@ -2,10 +2,10 @@
 # Bench baseline: run the root benchmark suite (one benchmark per paper
 # exhibit plus the ablations) with -benchmem and persist the numbers as
 # JSON, so perf PRs can diff wall time and allocations against a committed
-# baseline (BENCH_pr5.json) instead of eyeballing `go test -bench` output.
+# baseline (BENCH_pr8.json) instead of eyeballing `go test -bench` output.
 #
 # Usage: scripts/bench.sh [out.json] [bench-regex] [benchtime]
-#   out.json     output file (default BENCH_pr8.json in the repo root)
+#   out.json     output file (default BENCH_pr10.json in the repo root)
 #   bench-regex  -bench selector (default '.')
 #   benchtime    -benchtime value (default 4x: fixed iteration count keeps
 #                run time bounded and exhibits comparable)
@@ -33,10 +33,10 @@
 set -eu
 
 cd "$(dirname "$0")/.."
-out=${1:-BENCH_pr8.json}
+out=${1:-BENCH_pr10.json}
 bench=${2:-.}
 benchtime=${3:-4x}
-baseline=${XCCL_BENCH_BASELINE:-BENCH_pr6.json}
+baseline=${XCCL_BENCH_BASELINE:-BENCH_pr8.json}
 tolerance=${XCCL_BENCH_TOLERANCE:-2}
 speedup_want=${XCCL_BENCH_SPEEDUP:-2.5}
 cpus=$(nproc 2>/dev/null || echo 1)
@@ -45,6 +45,12 @@ cpus=$(nproc 2>/dev/null || echo 1)
 ns_op() {
 	[ -f "$1" ] || return 0
 	sed -n "s/.*\"name\": \"$2\",.*\"ns_op\": \([0-9]*\).*/\1/p" "$1"
+}
+
+# virt_us_op (virtual-time metric) of one benchmark entry ('' if absent).
+virt_us() {
+	[ -f "$1" ] || return 0
+	sed -n "s/.*\"name\": \"$2\",.*\"virt_us_op\": \([0-9.]*\).*/\1/p" "$1"
 }
 base_fig6=$(ns_op "$baseline" Fig6MultiNodeCollectives)
 base_fig7=$(ns_op "$baseline" Fig7HorovodNvidia)
@@ -124,4 +130,23 @@ if [ -n "$scale1" ] && [ -n "$scale4" ]; then
 	else
 		echo "bench.sh: SKIPPING sharded-engine speedup gate: host has $cpus CPU(s), need >= 4 for parallel shards to beat serial"
 	fi
+fi
+
+# Compiled-collective gate: on the Fig 6 multi-node topology the compiler's
+# planned alltoall (phased permutation schedule) must beat the grouped
+# send-recv loop by >= XCCL_BENCH_COMPILED_WIN percent of VIRTUAL time
+# (default 20). Virtual time is machine-independent, so this gate has no
+# tolerance knob for slow hosts — a miss means the plan search or the
+# schedule itself regressed.
+loop_us=$(virt_us "$out" Fig6AlltoallLoop)
+comp_us=$(virt_us "$out" Fig6AlltoallCompiled)
+if [ -n "$loop_us" ] && [ -n "$comp_us" ]; then
+	awk -v loop="$loop_us" -v comp="$comp_us" -v want="${XCCL_BENCH_COMPILED_WIN:-20}" 'BEGIN {
+		win = (loop - comp) * 100 / loop
+		printf "bench.sh: compiled alltoall virtual-time win %.1f%% over the send-recv loop (want >= %s%%)\n", win, want
+		exit win >= want ? 0 : 1
+	}' || {
+		echo "bench.sh: compiled alltoall win below ${XCCL_BENCH_COMPILED_WIN:-20}% (set XCCL_BENCH_COMPILED_WIN to override)" >&2
+		exit 1
+	}
 fi

@@ -28,7 +28,10 @@ scripts/doclinks.sh
 # whose windows genuinely run shards on separate OS threads — the race
 # detector is the proof that cross-shard traffic only moves through the
 # outbox/flush protocol.
-go test -race mpixccl/internal/metrics mpixccl/internal/sim mpixccl/internal/fault mpixccl/internal/fabric mpixccl/internal/core
+# internal/ccl/comp is the collective compiler: the plan search is pure,
+# but its lowered programs drive the executor's pipelined primitives, so
+# the IR/cost/search suite joins the race rotation wholesale (it is small).
+go test -race mpixccl/internal/metrics mpixccl/internal/sim mpixccl/internal/fault mpixccl/internal/fabric mpixccl/internal/core mpixccl/internal/ccl/comp
 # The experiments race leg covers the parallel runner, the chaos soak
 # (short rotation: collective, elastic, and partition schedules; shard
 # invariance pins the partition verdicts at 1 vs 4 shards), and the
@@ -41,8 +44,10 @@ go test -race -run 'TestRunAll|TestChaosShort|TestChaosShardInvariant|TestScale|
 go test -race -run 'TestTrainElastic|TestTrainPersistent' mpixccl/internal/dl
 # The hierarchical collectives recycle opArgs/runCtx through shared pools
 # and spawn pipeline helper procs; the property tests cover every phase
-# interleaving, so they are the ccl surface worth a race pass.
-go test -race -run 'TestHier|TestForcedFlat|TestCollectivePools' mpixccl/internal/ccl
+# interleaving, so they are the ccl surface worth a race pass. TestCompiled
+# adds the compiled executor: every plan strategy's primitive DAG runs its
+# steps through the same pooled pipes.
+go test -race -run 'TestHier|TestForcedFlat|TestCollectivePools|TestCompiled' mpixccl/internal/ccl
 # Bench smoke: one fixed iteration proves the benchmark harness still
 # runs end to end (full baselines come from scripts/bench.sh).
 go test -run '^$' -bench '^BenchmarkFig1aAllreduceCrossover$' -benchtime 1x .
@@ -63,6 +68,17 @@ if [ "$serial" != "$sharded" ]; then
 	exit 1
 fi
 go run ./cmd/xcclbench -scale ranks=256,shards=2 >/dev/null
+# Compiler smoke: -compile must leave the exhibit pipeline deterministic —
+# the compiled fig5 grid (the only exhibit with an alltoall column) must be
+# byte-identical between the serial and 4-shard engines. With -compile OFF
+# the goldens are already pinned byte-for-byte by TestGoldenVirtualTime, so
+# together the two proofs bracket the flag.
+comp_serial=$(go run ./cmd/xcclbench -exp fig5 -compile | grep -v 'wall time')
+comp_sharded=$(go run ./cmd/xcclbench -exp fig5 -compile -shards 4 | grep -v 'wall time')
+if [ "$comp_serial" != "$comp_sharded" ]; then
+	echo "check.sh: xcclbench -exp fig5 -compile diverged at -shards 4" >&2
+	exit 1
+fi
 # Partition smoke: the quorum/fence/rejoin exhibit regenerates through the
 # CLI at 1 and 4 shards with identical output. With partitions off the
 # other exhibits are pinned byte-for-byte against the committed golden by
